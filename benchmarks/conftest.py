@@ -1,0 +1,37 @@
+"""Shared plumbing for the figure-regeneration benchmarks.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`
+exactly once under pytest-benchmark timing, asserts the paper's shape
+checks, and writes the rendered table to ``benchmarks/results/<id>.txt``
+so a full run leaves the regenerated figures on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment once under the benchmark timer; verify shape."""
+
+    def runner(exp_id: str):
+        result = benchmark.pedantic(
+            lambda: run_experiment(exp_id), rounds=1, iterations=1
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        report = result.text + "\n" + result.check_report() + "\n"
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(report)
+        failed = [desc for desc, ok in result.checks if not ok]
+        assert result.ok, (
+            f"{exp_id}: shape checks failed: {failed}\n{result.text}"
+        )
+        return result
+
+    return runner

@@ -1,0 +1,10 @@
+"""Appendix X-B4: the analytic cost comparison."""
+
+
+def test_xb4_cost_model(regenerate):
+    result = regenerate("xb4")
+    rows = result.data["rows"]
+    speedups = [row[3] for row in rows]
+    # The speedup is monotone in x and approaches 2 from below.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] < 2.0

@@ -1,0 +1,10 @@
+"""Extension benchmarks beyond the paper's evaluation."""
+
+
+def test_ext_hierarchical_music(regenerate):
+    """The paper's future work: a two-level MUSIC amortizing WAN
+    consensus across colocated clients."""
+    result = regenerate("ext_hierarchical")
+    flat = result.data["flat"]
+    tiered = result.data["hierarchical"]
+    assert tiered["lwt_prepares"] < flat["lwt_prepares"]

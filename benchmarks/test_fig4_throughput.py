@@ -1,0 +1,15 @@
+"""Fig. 4: peak write-throughput microbenchmarks (Section VIII-b)."""
+
+
+def test_fig4a_throughput_across_profiles(regenerate):
+    result = regenerate("fig4a")
+    series = result.data["series"]
+    # The paper's ordering on every profile: CassaEV >> MUSIC > MSCP.
+    for index in range(len(result.data["profiles"])):
+        assert series["CassaEV"][index] > series["MUSIC"][index] > series["MSCP"][index]
+
+
+def test_fig4b_scaling_3_to_9_nodes(regenerate):
+    result = regenerate("fig4b")
+    series = result.data["series"]
+    assert series["MUSIC"] == sorted(series["MUSIC"])  # monotone scaling

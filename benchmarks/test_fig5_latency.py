@@ -1,0 +1,19 @@
+"""Fig. 5: single-thread latency and the per-operation breakdown."""
+
+
+def test_fig5a_latency_across_profiles(regenerate):
+    result = regenerate("fig5a")
+    series = result.data["series"]
+    profiles = result.data["profiles"]
+    # Cross-region critical sections cost more than the in-region one.
+    l1 = profiles.index("l1")
+    lus = profiles.index("lUs")
+    assert series["MUSIC"][lus] > 10 * series["MUSIC"][l1]
+
+
+def test_fig5b_operation_breakdown(regenerate):
+    result = regenerate("fig5b")
+    rows = {row[0]: row[1] for row in result.data["rows"]}
+    # The LWT-vs-quorum cost structure that drives every other figure.
+    assert rows["criticalPut (P, MSCP)"] > 3.5 * rows["criticalPut (Q, MUSIC)"]
+    assert rows["acquireLock peek (L, local)"] < rows["acquireLock grant (Q)"] / 20

@@ -1,0 +1,19 @@
+"""Fig. 6: MUSIC vs Zookeeper, batch-size and data-size sweeps."""
+
+
+def test_fig6a_throughput_vs_batch_size(regenerate):
+    result = regenerate("fig6a")
+    series = result.data["series"]
+    # Amortization: MUSIC per-write throughput grows with batch size.
+    assert series["MUSIC"] == sorted(series["MUSIC"])
+
+
+def test_fig6b_throughput_vs_data_size(regenerate):
+    result = regenerate("fig6b")
+    series = result.data["series"]
+    sizes = result.data["sizes"]
+    # Zookeeper's leader pipeline collapses at 256KB; MUSIC degrades
+    # far more gracefully.
+    zk_drop = series["Zookeeper"][0] / series["Zookeeper"][-1]
+    music_drop = series["MUSIC"][0] / max(series["MUSIC"][-1], 1e-9)
+    assert zk_drop > 2 * music_drop

@@ -1,0 +1,15 @@
+"""Fig. 7: MUSIC vs CockroachDB locking-transaction critical sections."""
+
+
+def test_fig7a_latency_vs_batch_size(regenerate):
+    result = regenerate("fig7a")
+    series = result.data["series"]
+    # Per-update cost dominates: both grow ~linearly in the batch size,
+    # with CockroachDB's slope ~2-4x MUSIC's.
+    assert all(c > m for c, m in zip(series["CockroachDB"], series["MUSIC"]))
+
+
+def test_fig7b_latency_vs_data_size(regenerate):
+    result = regenerate("fig7b")
+    series = result.data["series"]
+    assert all(c > m for c, m in zip(series["CockroachDB"], series["MUSIC"]))

@@ -1,0 +1,7 @@
+"""Fig. 8: latency CDFs for MUSIC and MSCP on l1 and lUs."""
+
+
+def test_fig8_latency_cdfs(regenerate):
+    result = regenerate("fig8")
+    medians = result.data["medians"]
+    assert medians["MUSIC-lUs"] < medians["MSCP-lUs"]

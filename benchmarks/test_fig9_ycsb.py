@@ -1,0 +1,8 @@
+"""Fig. 9 / X-B2: YCSB R, UR and U mixes with Zipfian collisions."""
+
+
+def test_fig9_ycsb_workloads(regenerate):
+    result = regenerate("fig9")
+    rows = result.data["rows"]
+    mixes = [row[0] for row in rows]
+    assert mixes == ["R", "UR", "U"]

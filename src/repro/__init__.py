@@ -1,0 +1,74 @@
+"""repro — a reproduction of "MUSIC: Multi-Site Critical Sections over
+Geo-Distributed State" (ICDCS 2020).
+
+The package provides:
+
+- :mod:`repro.core` — the MUSIC key-value store with entry-consistency-
+  under-failures (ECF) critical sections; start with
+  :func:`repro.build_music` and :class:`repro.MusicClient`;
+- :mod:`repro.sim` / :mod:`repro.net` — the deterministic simulation
+  substrate (event kernel, WAN latency profiles, nodes/RPC);
+- :mod:`repro.store` — the Cassandra-like replicated store (quorum ops,
+  Paxos light-weight transactions, sharding, anti-entropy);
+- :mod:`repro.baselines` — MSCP, Zookeeper and CockroachDB comparators;
+- :mod:`repro.services` — the paper's production use cases (VNF homing,
+  management portal);
+- :mod:`repro.verification` — a bounded model checker for the ECF
+  invariants;
+- :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the evaluation.
+
+Quickstart::
+
+    from repro import build_music
+
+    music = build_music(profile_name="lUs")
+    client = music.client("Ohio")
+
+    def task():
+        cs = yield from client.critical_section("my-key")
+        value = yield from cs.get()
+        yield from cs.put((value or 0) + 1)
+        yield from cs.exit()
+
+    music.sim.run_until_complete(music.sim.process(task()))
+"""
+
+from .core import (
+    CriticalSection,
+    MusicClient,
+    MusicConfig,
+    MusicDeployment,
+    MusicReplica,
+    build_music,
+)
+from .errors import (
+    LeaseExpired,
+    LockContention,
+    NoLeader,
+    NotLockHolder,
+    QuorumUnavailable,
+    ReproError,
+    RpcTimeout,
+    TransactionAborted,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CriticalSection",
+    "LeaseExpired",
+    "LockContention",
+    "MusicClient",
+    "MusicConfig",
+    "MusicDeployment",
+    "MusicReplica",
+    "NoLeader",
+    "NotLockHolder",
+    "QuorumUnavailable",
+    "ReproError",
+    "RpcTimeout",
+    "TransactionAborted",
+    "build_music",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Result analysis: statistics, the X-B4 cost model, text rendering."""
+
+from .cost_model import CostModel
+from .report import render_bars, render_cdf, render_series, render_table
+from .stats import Summary, cdf_points, percentile, summarize
+from .timeline import TraceEntry, Tracer
+
+__all__ = [
+    "CostModel",
+    "Summary",
+    "TraceEntry",
+    "Tracer",
+    "cdf_points",
+    "percentile",
+    "render_bars",
+    "render_cdf",
+    "render_series",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,49 @@
+"""The qualitative cost analysis of Appendix X-B4.
+
+A critical section with ``x`` state updates costs:
+
+- MUSIC:   2 consensus ops (createLockRef + releaseLock) + one quorum
+  lookup of the synchFlag + ``x`` quorum writes → ``2C + (x+1)Q``;
+- Spanner/CockroachDB with per-update exclusive transactions: two
+  consensus operations per update → ``2xC``.
+
+With the paper's generous assumption C ≈ Q, MUSIC's cost is ``(3+x)C ≈
+xC`` for large x — about half of ``2xC``, hence "nearly two times
+faster".  The bench target checks our measured Fig. 7 ratios against
+this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass
+class CostModel:
+    """Per-operation costs in any common unit (e.g. ms or RTTs)."""
+
+    consensus: float  # C: one consensus operation
+    quorum: float  # Q: one quorum operation
+
+    def music_critical_section(self, updates: int) -> float:
+        """2C + (x+1)Q."""
+        if updates < 0:
+            raise ValueError("updates must be non-negative")
+        return 2 * self.consensus + (updates + 1) * self.quorum
+
+    def per_update_transactions(self, updates: int) -> float:
+        """2xC: each update in its own exclusive consensus transaction."""
+        if updates < 0:
+            raise ValueError("updates must be non-negative")
+        return 2 * updates * self.consensus
+
+    def speedup(self, updates: int) -> float:
+        """How much faster MUSIC is: (2xC) / (2C + (x+1)Q)."""
+        return self.per_update_transactions(updates) / self.music_critical_section(updates)
+
+    @classmethod
+    def generous(cls, cost: float = 1.0) -> "CostModel":
+        """The paper's generous C == Q assumption."""
+        return cls(consensus=cost, quorum=cost)

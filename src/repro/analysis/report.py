@@ -1,0 +1,87 @@
+"""Plain-text renderers for the experiment tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_cdf", "render_bars"]
+
+
+def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """An aligned ASCII table with a title rule."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, series: dict, x_values: Sequence) -> str:
+    """A table with one row per x value and one column per named series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [series[name][index] for name in series])
+    return render_table(title, headers, rows)
+
+
+def render_cdf(title: str, cdfs: dict, points: int = 10) -> str:
+    """Quantile rows for each named CDF ({name: [(value, frac), ...]})."""
+    fractions = [i / points for i in range(1, points + 1)]
+    headers = ["pctile"] + list(cdfs)
+    rows: List[List] = []
+    for fraction in fractions:
+        row: List = [f"{fraction * 100:.0f}%"]
+        for name in cdfs:
+            row.append(_value_at(cdfs[name], fraction))
+        rows.append(row)
+    return render_table(title, headers, rows)
+
+
+def render_bars(title: str, values: dict, width: int = 46, unit: str = "") -> str:
+    """A horizontal ASCII bar chart, one bar per named value.
+
+    Bars are scaled to the maximum; labels and values are aligned, so
+    figure-style results read at a glance in a terminal::
+
+        MUSIC      ################################  17,237 w/s
+        Zookeeper  ####                                2,497 w/s
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    label_width = max(len(str(label)) for label in values)
+    peak = max(values.values())
+    lines = [title, "=" * len(title)]
+    for label, value in values.items():
+        filled = 0 if peak <= 0 else max(
+            1 if value > 0 else 0, round(width * value / peak)
+        )
+        bar = "#" * filled
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar.ljust(width)}  "
+            f"{_fmt(float(value))}{(' ' + unit) if unit else ''}"
+        )
+    return "\n".join(lines)
+
+
+def _value_at(cdf: List[Tuple[float, float]], fraction: float) -> float:
+    for value, cumulative in cdf:
+        if cumulative >= fraction:
+            return value
+    return cdf[-1][0]
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)

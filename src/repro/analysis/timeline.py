@@ -1,0 +1,99 @@
+"""Message-sequence tracing: capture protocol exchanges and render them
+as text diagrams.
+
+Attach a :class:`Tracer` to a network before a run, then render the
+exchanges for debugging, documentation or assertions::
+
+    tracer = Tracer(network, kinds={"paxos_prepare", "paxos_propose"})
+    ... run ...
+    print(tracer.render())
+
+Output (one line per captured send)::
+
+      55.39 music-0-0    -> store-1-0     paxos_propose   (64 B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..net import Network
+from ..net.network import Message
+
+__all__ = ["Tracer", "TraceEntry"]
+
+
+@dataclass
+class TraceEntry:
+    """One captured send."""
+
+    at: float
+    src: str
+    dst: str
+    kind: str
+    size_bytes: int
+
+
+class Tracer:
+    """Collects sends matching a kind/node filter, bounded in size."""
+
+    def __init__(
+        self,
+        network: Network,
+        kinds: Optional[Set[str]] = None,
+        nodes: Optional[Set[str]] = None,
+        limit: int = 10_000,
+    ) -> None:
+        self.kinds = kinds
+        self.nodes = nodes
+        self.limit = limit
+        self.entries: List[TraceEntry] = []
+        self.dropped = 0
+        network.add_tap(self._tap)
+
+    def _tap(self, message: Message) -> None:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return
+        if self.nodes is not None and not (
+            message.src in self.nodes or message.dst in self.nodes
+        ):
+            return
+        if len(self.entries) >= self.limit:
+            self.dropped += 1
+            return
+        self.entries.append(
+            TraceEntry(
+                at=message.sent_at,
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+                size_bytes=message.size_bytes,
+            )
+        )
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.dropped = 0
+
+    def count_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+        return counts
+
+    def between(self, start: float, end: float) -> List[TraceEntry]:
+        return [e for e in self.entries if start <= e.at < end]
+
+    def render(self, max_lines: int = 200) -> str:
+        lines = []
+        for entry in self.entries[:max_lines]:
+            lines.append(
+                f"{entry.at:10.2f} {entry.src:<12} -> {entry.dst:<12} "
+                f"{entry.kind:<18} ({entry.size_bytes} B)"
+            )
+        if len(self.entries) > max_lines:
+            lines.append(f"... {len(self.entries) - max_lines} more entries")
+        if self.dropped:
+            lines.append(f"... {self.dropped} entries dropped (limit {self.limit})")
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Baselines the paper evaluates against: MSCP, Zookeeper, CockroachDB."""
+
+from .cockroach import (
+    CockroachClient,
+    CockroachConfig,
+    CockroachCriticalSection,
+    CockroachNode,
+    build_cockroach,
+)
+from .mscp import MscpReplica, build_mscp
+from .zookeeper import ZkConfig, ZkLock, ZkSession, ZookeeperServer, build_zookeeper
+
+__all__ = [
+    "CockroachClient",
+    "CockroachConfig",
+    "CockroachCriticalSection",
+    "CockroachNode",
+    "MscpReplica",
+    "ZkConfig",
+    "ZkLock",
+    "ZkSession",
+    "ZookeeperServer",
+    "build_cockroach",
+    "build_mscp",
+    "build_zookeeper",
+]

@@ -1,0 +1,14 @@
+"""CockroachDB baseline: Raft ranges, leaseholders, transactions."""
+
+from .raft import CockroachConfig, CockroachNode, build_cockroach, range_of
+from .txn import CockroachClient, CockroachCriticalSection, Transaction
+
+__all__ = [
+    "CockroachClient",
+    "CockroachConfig",
+    "CockroachCriticalSection",
+    "CockroachNode",
+    "Transaction",
+    "build_cockroach",
+    "range_of",
+]

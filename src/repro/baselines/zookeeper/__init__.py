@@ -1,0 +1,26 @@
+"""Zookeeper baseline: Zab broadcast, znode tree, sessions, lock recipe."""
+
+from .lock_recipe import ZkLock
+from .server import ZkConfig, ZkSession, ZookeeperServer, build_zookeeper
+from .znode import (
+    BadVersionError,
+    NodeExistsError,
+    NoNodeError,
+    ZkError,
+    ZNode,
+    ZNodeTree,
+)
+
+__all__ = [
+    "BadVersionError",
+    "NoNodeError",
+    "NodeExistsError",
+    "ZNode",
+    "ZNodeTree",
+    "ZkConfig",
+    "ZkError",
+    "ZkLock",
+    "ZkSession",
+    "ZookeeperServer",
+    "build_zookeeper",
+]

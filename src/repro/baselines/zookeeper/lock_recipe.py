@@ -1,0 +1,101 @@
+"""The standard Zookeeper lock recipe (Curator-style).
+
+Acquire: create an ephemeral sequential znode under the lock's
+directory; you hold the lock when your node has the lowest sequence
+among the children.  Because the commit stream is totally ordered and a
+server's tree is always a prefix of it, "lowest in my server's local
+view" already implies every earlier node was globally deleted — so
+polling the local children list is safe (and cheap, mirroring MUSIC's
+local peek).  Ephemerality makes the lock fault tolerant: a crashed
+holder's session expires and its znode is deleted by the leader.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .server import ZkSession
+from .znode import NoNodeError, NodeExistsError
+
+__all__ = ["ZkLock"]
+
+
+class ZkLock:
+    """A distributed lock on ``/locks/<name>`` for one session."""
+
+    def __init__(
+        self,
+        session: ZkSession,
+        name: str,
+        poll_interval_ms: float = 10.0,
+        poll_backoff: float = 1.5,
+        poll_max_ms: float = 500.0,
+        use_watches: bool = False,
+    ) -> None:
+        self.session = session
+        self.directory = f"/locks/{name}"
+        self.poll_interval_ms = poll_interval_ms
+        self.poll_backoff = poll_backoff
+        self.poll_max_ms = poll_max_ms
+        # With use_watches, wait on the predecessor znode's deletion
+        # (the Curator recipe) instead of polling the children list.
+        self.use_watches = use_watches
+        self.my_path: Optional[str] = None
+
+    def _ensure_directory(self) -> Generator[Any, Any, None]:
+        exists = yield from self.session.exists(self.directory)
+        if not exists:
+            try:
+                locks_root = yield from self.session.exists("/locks")
+                if not locks_root:
+                    yield from self.session.create("/locks")
+            except NodeExistsError:
+                pass
+            try:
+                yield from self.session.create(self.directory)
+            except NodeExistsError:
+                pass  # another client created it first
+
+    def acquire(self, timeout_ms: Optional[float] = None) -> Generator[Any, Any, bool]:
+        """Block (polling) until held; False if the timeout elapsed."""
+        sim = self.session.sim
+        yield from self._ensure_directory()
+        self.my_path = yield from self.session.create(
+            f"{self.directory}/lock-", sequential=True, ephemeral=True
+        )
+        my_name = self.my_path.rsplit("/", 1)[-1]
+        deadline = None if timeout_ms is None else sim.now + timeout_ms
+        interval = self.poll_interval_ms
+        while True:
+            children = yield from self.session.get_children(self.directory)
+            if children and min(children) == my_name:
+                return True
+            if deadline is not None and sim.now >= deadline:
+                yield from self.release()
+                return False
+            if self.use_watches and my_name in children:
+                predecessors = sorted(c for c in children if c < my_name)
+                watch = self.session.server.watch_data(
+                    f"{self.directory}/{predecessors[-1]}"
+                )
+                if deadline is None:
+                    yield watch
+                else:
+                    index, _value = yield sim.any_of(
+                        [watch, sim.timeout(max(0.0, deadline - sim.now))]
+                    )
+                    if index == 1:  # timed out waiting for the watch
+                        yield from self.release()
+                        return False
+            else:
+                yield sim.timeout(interval)
+                interval = min(interval * self.poll_backoff, self.poll_max_ms)
+
+    def release(self) -> Generator[Any, Any, None]:
+        if self.my_path is None:
+            return
+        try:
+            yield from self.session.delete(self.my_path)
+        except NoNodeError:
+            pass  # session expiry already removed it
+        self.my_path = None

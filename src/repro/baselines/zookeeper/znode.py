@@ -1,0 +1,138 @@
+"""The znode tree: Zookeeper's hierarchical namespace.
+
+Each server holds a full copy of the tree; all mutations arrive through
+the totally-ordered Zab commit stream, so the copies stay identical.
+Supports the subset of the Zookeeper API the evaluation needs: create
+(with sequential and ephemeral flags), get/set data with versions,
+children listing, delete, and exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ZNode", "ZNodeTree", "ZkError", "NoNodeError", "NodeExistsError", "BadVersionError"]
+
+
+class ZkError(Exception):
+    """Base error for znode operations."""
+
+
+class NoNodeError(ZkError):
+    pass
+
+
+class NodeExistsError(ZkError):
+    pass
+
+
+class BadVersionError(ZkError):
+    pass
+
+
+@dataclass
+class ZNode:
+    """One node of the tree."""
+
+    path: str
+    data: bytes = b""
+    version: int = 0
+    ephemeral_owner: Optional[int] = None  # session id, if ephemeral
+    sequence_counter: int = 0  # next suffix for sequential children
+    children: Dict[str, "ZNode"] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+
+class ZNodeTree:
+    """A mutable znode tree; mutations must come from the commit stream."""
+
+    def __init__(self) -> None:
+        self.root = ZNode(path="/")
+
+    # -- navigation ------------------------------------------------------------
+
+    def _walk(self, path: str) -> ZNode:
+        if not path.startswith("/"):
+            raise ZkError(f"paths are absolute, got {path!r}")
+        node = self.root
+        if path == "/":
+            return node
+        for part in path.strip("/").split("/"):
+            if part not in node.children:
+                raise NoNodeError(path)
+            node = node.children[part]
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._walk(path)
+            return True
+        except NoNodeError:
+            return False
+
+    def get(self, path: str) -> Tuple[bytes, int]:
+        node = self._walk(path)
+        return node.data, node.version
+
+    def get_children(self, path: str) -> List[str]:
+        return sorted(self._walk(path).children)
+
+    # -- mutations (applied in Zab commit order) --------------------------------------
+
+    def create(
+        self,
+        path: str,
+        data: bytes = b"",
+        sequential: bool = False,
+        ephemeral_owner: Optional[int] = None,
+    ) -> str:
+        """Create a node; returns the actual path (suffix for sequentials)."""
+        parent_path, _slash, name = path.rpartition("/")
+        parent = self._walk(parent_path or "/")
+        if sequential:
+            name = f"{name}{parent.sequence_counter:010d}"
+            parent.sequence_counter += 1
+        if name in parent.children:
+            raise NodeExistsError(f"{parent.path.rstrip('/')}/{name}")
+        full_path = (parent.path.rstrip("/") or "") + "/" + name
+        parent.children[name] = ZNode(
+            path=full_path, data=data, ephemeral_owner=ephemeral_owner
+        )
+        return full_path
+
+    def set_data(self, path: str, data: bytes, expected_version: int = -1) -> int:
+        node = self._walk(path)
+        if expected_version != -1 and node.version != expected_version:
+            raise BadVersionError(f"{path}: have {node.version}, expected {expected_version}")
+        node.data = data
+        node.version += 1
+        return node.version
+
+    def delete(self, path: str, expected_version: int = -1) -> None:
+        parent_path, _slash, name = path.rpartition("/")
+        parent = self._walk(parent_path or "/")
+        if name not in parent.children:
+            raise NoNodeError(path)
+        node = parent.children[name]
+        if expected_version != -1 and node.version != expected_version:
+            raise BadVersionError(path)
+        if node.children:
+            raise ZkError(f"{path} has children")
+        del parent.children[name]
+
+    def ephemerals_of(self, session_id: int) -> List[str]:
+        """All ephemeral paths owned by a session (for expiry cleanup)."""
+        found: List[str] = []
+
+        def visit(node: ZNode) -> None:
+            for child in node.children.values():
+                if child.ephemeral_owner == session_id:
+                    found.append(child.path)
+                visit(child)
+
+        visit(self.root)
+        return found

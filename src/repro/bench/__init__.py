@@ -1,0 +1,15 @@
+"""Benchmark harness and the per-figure experiments of Section VIII."""
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment, scale_name
+from .harness import LatencyResult, ThroughputResult, measure_latency, measure_throughput
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "LatencyResult",
+    "ThroughputResult",
+    "measure_latency",
+    "measure_throughput",
+    "run_experiment",
+    "scale_name",
+]

@@ -1,0 +1,979 @@
+"""One experiment per table/figure of the paper's evaluation (Section
+VIII and Appendix X-B).
+
+Each ``fig*``/``table*`` function builds fresh deployments on a fresh
+simulator, drives the paper's workload, and returns an
+:class:`ExperimentResult` holding the measured series, a rendered text
+table, and pass/fail *shape checks* — the qualitative claims the paper
+makes (who wins, by roughly what factor, where crossovers fall).
+Absolute numbers differ from the paper's testbed; EXPERIMENTS.md records
+paper-vs-measured side by side.
+
+Scale: parameters default to the "quick" preset (minutes for the whole
+suite); set ``REPRO_BENCH_SCALE=full`` for paper-sized sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..analysis import CostModel, cdf_points, render_cdf, render_series, render_table, summarize
+from ..baselines.cockroach import build_cockroach
+from ..baselines.mscp import build_mscp
+from ..baselines.zookeeper import build_zookeeper
+from ..core import build_music
+from ..core.deployment import MusicDeployment
+from ..errors import NotLockHolder, ReproError
+from ..net import PAPER_PROFILES, Network
+from ..sim import RandomStreams, Simulator
+from ..workloads import PAPER_DATA_SIZES, PAPER_YCSB_WORKLOADS, SizedValue, ZipfianGenerator
+from .harness import measure_latency, measure_throughput
+from .workers import (
+    cassa_ev_operation,
+    cassa_ev_worker,
+    cockroach_cs_operation,
+    music_cs_operation,
+    music_worker,
+    zookeeper_worker,
+)
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "scale_name"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of regenerating one table/figure."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    checks: List[Tuple[str, bool]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(passed for _desc, passed in self.checks)
+
+    def check_report(self) -> str:
+        lines = []
+        for desc, passed in self.checks:
+            lines.append(f"  [{'PASS' if passed else 'FAIL'}] {desc}")
+        return "\n".join(lines)
+
+
+def scale_name() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def _params() -> Dict[str, Any]:
+    quick = {
+        "latency_samples": 12,
+        "cdf_samples": 60,
+        "thr_threads": 240,
+        "thr_warmup_ms": 1_500.0,
+        "thr_window_ms": 3_000.0,
+        "cassa_threads": 24,
+        "cassa_warmup_ms": 200.0,
+        "cassa_window_ms": 500.0,
+        # Fig 4b needs a CPU-saturated regime to show scaling; with the
+        # quick preset we shrink the per-node core count instead of
+        # inflating the thread count (same capacity mechanism).
+        "fig4b_threads": 400,
+        "fig4b_cores": 4,
+        "fig4b_sizes": [3, 9],
+        "fig6_threads": 600,
+        "fig6_batches": [10, 100],
+        "fig6_sizes": ["10B", "16KB", "256KB"],
+        "fig7_batches": [10, 100],
+        "fig7_sizes": ["10B", "16KB", "64KB"],
+        "fig7_samples": 3,
+        # Chosen to land near the paper's ~5.5% lock-collision regime:
+        # more threads per key pile onto the Zipfian head and queueing
+        # (identical in both systems) swamps the put-cost difference.
+        "ycsb_threads": 8,
+        "ycsb_keys": 1000,
+        "ycsb_warmup_ms": 3_000.0,
+        "ycsb_window_ms": 15_000.0,
+        "ycsb_seeds": [51, 151],
+    }
+    if scale_name() != "full":
+        return quick
+    full = dict(quick)
+    full.update(
+        {
+            "latency_samples": 40,
+            "cdf_samples": 200,
+            "thr_threads": 600,
+            "thr_warmup_ms": 2_000.0,
+            "thr_window_ms": 6_000.0,
+            "cassa_threads": 64,
+            "cassa_window_ms": 2_000.0,
+            "fig4b_threads": 900,
+            "fig4b_cores": 8,
+            "fig4b_sizes": [3, 6, 9],
+            "fig6_batches": [1, 10, 100, 1000],
+            "fig6_sizes": list(PAPER_DATA_SIZES),
+            "fig7_batches": [10, 100, 1000],
+            "fig7_sizes": ["10B", "1KB", "16KB", "64KB"],
+            "fig7_samples": 5,
+            "ycsb_threads": 12,
+            "ycsb_keys": 1000,
+            "ycsb_window_ms": 25_000.0,
+            "ycsb_seeds": [51, 151, 251],
+        }
+    )
+    return full
+
+
+# ---------------------------------------------------------------------------
+# Table II — latency profiles
+# ---------------------------------------------------------------------------
+
+
+def table2() -> ExperimentResult:
+    """Table II: verify the modelled RTTs against the paper's numbers."""
+    from ..net import Node
+
+    rows = []
+    checks = []
+    for name, profile in PAPER_PROFILES.items():
+        sim = Simulator()
+        network = Network(sim, profile, streams=RandomStreams(1))
+        nodes = {}
+        for index, site in enumerate(profile.site_names):
+            node = Node(sim, network, f"probe-{index}", site)
+            node.on("ping", lambda msg, n=node: n.reply(msg, "pong"))
+            node.start()
+            nodes[site] = node
+
+        measured = {}
+
+        def prober():
+            sites = list(profile.site_names)
+            for a_index in range(len(sites)):
+                for b_index in range(a_index + 1, len(sites)):
+                    src, dst = nodes[sites[a_index]], nodes[sites[b_index]]
+                    start = sim.now
+                    yield from src.call(dst.node_id, "ping", None)
+                    measured[(sites[a_index], sites[b_index])] = sim.now - start
+
+        sim.run_until_complete(sim.process(prober()))
+        for (site_a, site_b), rtt in measured.items():
+            configured = profile.rtt(site_a, site_b)
+            rows.append([name, f"{site_a}-{site_b}", configured, round(rtt, 2)])
+            checks.append(
+                (f"{name} {site_a}-{site_b} measured ≈ Table II RTT",
+                 abs(rtt - configured) < max(1.0, configured * 0.05))
+            )
+    text = render_table(
+        "Table II — WAN latency profiles (configured vs measured ping RTT)",
+        ["profile", "pair", "Table II RTT (ms)", "measured (ms)"],
+        rows,
+    )
+    return ExperimentResult("table2", "Latency profiles", text, {"rows": rows}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — throughput microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+def _saturation_threads(profile_name: str, base_threads: int) -> int:
+    """Threads needed to saturate: proportional to the CS latency.
+
+    Offered load is threads / CS-latency; the CPU capacity cap is the
+    same for every profile, so the low-latency l1 profile saturates with
+    ~20x fewer threads than lUs (and flooding it with the lUs thread
+    count only provokes a retry storm, not more throughput).
+    """
+    if profile_name == "l1":
+        return max(16, base_threads // 10)
+    return base_threads
+
+
+def fig4a() -> ExperimentResult:
+    """Fig 4(a): CassaEV / MUSIC / MSCP write throughput per profile."""
+    p = _params()
+    series: Dict[str, List[float]] = {"CassaEV": [], "MUSIC": [], "MSCP": []}
+    profiles = list(PAPER_PROFILES)
+    for profile_name in profiles:
+        cassa = build_music(profile_name=profile_name, seed=41)
+        result = measure_throughput(
+            cassa.sim,
+            lambda i, rec, err: cassa_ev_worker(cassa, i, rec, err),
+            threads=p["cassa_threads"],
+            warmup_ms=p["cassa_warmup_ms"],
+            window_ms=p["cassa_window_ms"],
+        )
+        series["CassaEV"].append(result.per_second)
+        for label, builder in (("MUSIC", build_music), ("MSCP", build_mscp)):
+            deployment = builder(profile_name=profile_name, seed=42)
+            result = measure_throughput(
+                deployment.sim,
+                lambda i, rec, err, d=deployment: music_worker(d, i, rec, err, batch=1),
+                threads=_saturation_threads(profile_name, p["thr_threads"]),
+                warmup_ms=p["thr_warmup_ms"],
+                window_ms=p["thr_window_ms"],
+            )
+            series[label].append(result.per_second)
+
+    checks = []
+    for index, profile_name in enumerate(profiles):
+        cassa_tp = series["CassaEV"][index]
+        music_tp = series["MUSIC"][index]
+        mscp_tp = series["MSCP"][index]
+        checks.append((f"{profile_name}: CassaEV >> MUSIC", cassa_tp > 4 * music_tp))
+        checks.append(
+            (f"{profile_name}: MUSIC outperforms MSCP (paper ~30%)",
+             music_tp > 1.10 * mscp_tp)
+        )
+    text = render_series(
+        "Fig 4(a) — peak write throughput (op/s), batch size 1, 10 B values",
+        "profile", series, profiles,
+    )
+    return ExperimentResult("fig4a", "Throughput across profiles", text,
+                            {"series": series, "profiles": profiles}, checks)
+
+
+def fig4b() -> ExperimentResult:
+    """Fig 4(b): scaling a sharded lUs cluster from 3 to 9 nodes."""
+    p = _params()
+    sizes = p["fig4b_sizes"]
+    series: Dict[str, List[float]] = {"MUSIC": [], "MSCP": []}
+    for node_count in sizes:
+        for label, builder in (("MUSIC", build_music), ("MSCP", build_mscp)):
+            deployment = builder(
+                profile_name="lUs", nodes_per_site=node_count // 3, seed=43,
+                cores=p["fig4b_cores"],
+            )
+            result = measure_throughput(
+                deployment.sim,
+                lambda i, rec, err, d=deployment: music_worker(d, i, rec, err, batch=1),
+                threads=p["fig4b_threads"],
+                warmup_ms=p["thr_warmup_ms"],
+                window_ms=p["thr_window_ms"],
+            )
+            series[label].append(result.per_second)
+    checks = [
+        ("MUSIC throughput grows 3 -> max nodes",
+         series["MUSIC"][-1] > 1.3 * series["MUSIC"][0]),
+        ("MSCP throughput grows 3 -> max nodes",
+         series["MSCP"][-1] > 1.3 * series["MSCP"][0]),
+    ]
+    for index, node_count in enumerate(sizes):
+        checks.append(
+            (f"{node_count} nodes: MUSIC outperforms MSCP",
+             series["MUSIC"][index] > 1.10 * series["MSCP"][index])
+        )
+    text = render_series(
+        "Fig 4(b) — throughput scaling, lUs, RF=3 sharded (op/s)",
+        "nodes", series, sizes,
+    )
+    return ExperimentResult("fig4b", "Throughput scaling 3->9 nodes", text,
+                            {"series": series, "sizes": sizes}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — latency microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+def fig5a() -> ExperimentResult:
+    """Fig 5(a): single-thread mean write latency per profile."""
+    p = _params()
+    profiles = list(PAPER_PROFILES)
+    series: Dict[str, List[float]] = {"CassaEV": [], "MUSIC": [], "MSCP": []}
+    for profile_name in profiles:
+        deployment = build_music(profile_name=profile_name, seed=44)
+        result = measure_latency(
+            deployment.sim, cassa_ev_operation(deployment), samples=p["latency_samples"]
+        )
+        series["CassaEV"].append(result.mean)
+        for label, builder in (("MUSIC", build_music), ("MSCP", build_mscp)):
+            deployment = builder(profile_name=profile_name, seed=44)
+            result = measure_latency(
+                deployment.sim,
+                music_cs_operation(deployment, batch=1),
+                samples=p["latency_samples"],
+            )
+            series[label].append(result.mean)
+    checks = []
+    for index, profile_name in enumerate(profiles):
+        if profile_name == "l1":
+            continue
+        ratio = series["MUSIC"][index] / series["MSCP"][index]
+        checks.append(
+            (f"{profile_name}: MUSIC ~30% lower latency than MSCP "
+             f"(ratio {ratio:.2f}, paper ~0.70)", 0.55 < ratio < 0.85)
+        )
+    checks.append(("CassaEV latency flat across profiles (local write)",
+                   max(series["CassaEV"]) < 3.0))
+    text = render_series(
+        "Fig 5(a) — mean critical-section latency (ms), batch 1",
+        "profile", series, profiles,
+    )
+    return ExperimentResult("fig5a", "Latency across profiles", text,
+                            {"series": series, "profiles": profiles}, checks)
+
+
+def fig5b() -> ExperimentResult:
+    """Fig 5(b): per-operation latency breakdown on lUs."""
+    p = _params()
+    # Keyed by (site, op): LWT cost depends on the coordinator's vantage
+    # (Oregon's nearest quorum peer is 24.2 ms away vs Ohio's 53.79), and
+    # the paper reports the Ohio vantage.
+    timings: Dict[Tuple[str, str], List[float]] = {}
+
+    def recorder_for(site: str):
+        def record(op: str, ms: float) -> None:
+            timings.setdefault((site, op), []).append(ms)
+
+        return record
+
+    music = build_music(profile_name="lUs", seed=45)
+    for replica in music.replicas:
+        replica.op_recorder = recorder_for(replica.site)
+    client_a = music.client("Ohio")
+    client_b = music.client("Oregon")
+
+    def workload():
+        for index in range(p["latency_samples"]):
+            key = f"bk-{index}"
+            lock_ref = yield from client_a.create_lock_ref(key)
+            yield from client_a.acquire_lock_blocking(key, lock_ref)
+            # A queued second client: its polling exercises the local
+            # peek path (the 'L' bar of Fig 5b).
+            ref_b = yield from client_b.create_lock_ref(key)
+            yield music.sim.timeout(200.0)
+            granted = yield from client_b.acquire_lock(key, ref_b)
+            assert granted is False
+            yield from client_a.critical_put(key, lock_ref, SizedValue(10))
+            yield from client_a.release_lock(key, lock_ref)
+            try:
+                yield from client_b.release_lock(key, ref_b)
+            except NotLockHolder:
+                pass
+
+    music.sim.run_until_complete(music.sim.process(workload()), limit=1e9)
+
+    mscp = build_mscp(profile_name="lUs", seed=45)
+    mscp_timings: Dict[str, List[float]] = {}
+    mscp.replica_at("Ohio").op_recorder = (
+        lambda op, ms: mscp_timings.setdefault(op, []).append(ms)
+    )
+    mscp_client = mscp.client("Ohio")
+
+    def mscp_workload():
+        for index in range(p["latency_samples"]):
+            key = f"bk-{index}"
+            lock_ref = yield from mscp_client.create_lock_ref(key)
+            yield from mscp_client.acquire_lock_blocking(key, lock_ref)
+            yield from mscp_client.critical_put(key, lock_ref, SizedValue(10))
+            yield from mscp_client.release_lock(key, lock_ref)
+
+    mscp.sim.run_until_complete(mscp.sim.process(mscp_workload()), limit=1e9)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values)
+
+    rows = [
+        ["createLockRef (consensus)", mean(timings[("Ohio", "createLockRef")]), "219-230"],
+        ["acquireLock peek (L, local)",
+         mean(timings[("Oregon", "acquireLock.peek")]), "~0.67"],
+        ["acquireLock grant (Q)", mean(timings[("Ohio", "acquireLock.grant")]), "~55"],
+        ["criticalPut (Q, MUSIC)", mean(timings[("Ohio", "criticalPut")]), "~93"],
+        ["criticalPut (P, MSCP)", mean(mscp_timings["criticalPut"]), "~270"],
+        ["releaseLock (consensus)", mean(timings[("Ohio", "releaseLock")]), "219-230"],
+    ]
+    checks = [
+        ("createLockRef ≈ 4 quorum RTTs (LWT)", 200 < rows[0][1] < 240),
+        ("peek is local (<2ms)", rows[1][1] < 2.0),
+        ("grant ≈ one quorum RTT", 45 < rows[2][1] < 70),
+        ("MUSIC criticalPut ≈ one quorum RTT", 45 < rows[3][1] < 70),
+        ("MSCP criticalPut ≈ 4 quorum RTTs", 200 < rows[4][1] < 300),
+        ("releaseLock ≈ 4 quorum RTTs (LWT)", 200 < rows[5][1] < 240),
+    ]
+    text = render_table(
+        "Fig 5(b) — MUSIC operation latency breakdown, lUs (ms)",
+        ["operation", "measured (ms)", "paper (ms)"],
+        rows,
+    )
+    return ExperimentResult("fig5b", "Operation breakdown", text,
+                            {"rows": rows}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — Zookeeper comparison
+# ---------------------------------------------------------------------------
+
+
+def _zookeeper_throughput(batch: int, value_bytes: int, threads: int,
+                          warmup_ms: float, window_ms: float, seed: int) -> float:
+    sim = Simulator()
+    network = Network(sim, PAPER_PROFILES["lUs"], streams=RandomStreams(seed))
+    servers = build_zookeeper(sim, network, list(PAPER_PROFILES["lUs"].site_names))
+    result = measure_throughput(
+        sim,
+        lambda i, rec, err: zookeeper_worker(servers, i, rec, err,
+                                             batch=batch, value_bytes=value_bytes),
+        threads=threads, warmup_ms=warmup_ms, window_ms=window_ms,
+    )
+    return result.per_second
+
+
+def _music_like_throughput(builder, batch: int, value_bytes: int, threads: int,
+                           warmup_ms: float, window_ms: float, seed: int) -> float:
+    deployment = builder(profile_name="lUs", seed=seed)
+    result = measure_throughput(
+        deployment.sim,
+        lambda i, rec, err: music_worker(deployment, i, rec, err,
+                                         batch=batch, value_bytes=value_bytes),
+        threads=threads, warmup_ms=warmup_ms, window_ms=window_ms,
+    )
+    return result.per_second
+
+
+def fig6a() -> ExperimentResult:
+    """Fig 6(a): write throughput vs critical-section batch size."""
+    p = _params()
+    batches = p["fig6_batches"]
+    series: Dict[str, List[float]] = {"MUSIC": [], "MSCP": [], "Zookeeper": []}
+    for batch in batches:
+        warmup = max(p["thr_warmup_ms"], batch * 60.0 * 0.3 + 1_500.0)
+        series["MUSIC"].append(_music_like_throughput(
+            build_music, batch, 10, p["fig6_threads"], warmup, p["thr_window_ms"], 46))
+        series["MSCP"].append(_music_like_throughput(
+            build_mscp, batch, 10, p["fig6_threads"], warmup, p["thr_window_ms"], 46))
+        series["Zookeeper"].append(_zookeeper_throughput(
+            batch, 10, p["fig6_threads"], p["thr_warmup_ms"], p["thr_window_ms"], 46))
+    checks = [
+        ("MUSIC throughput grows with batch size (amortization)",
+         series["MUSIC"][-1] > 1.3 * series["MUSIC"][0]),
+        ("MUSIC ahead of Zookeeper at batch >= 10 (paper 1.4-2.3x)",
+         all(m > z for m, z in zip(series["MUSIC"], series["Zookeeper"]))),
+        ("the MUSIC/Zookeeper gap at batch >= 100 exceeds 1.2x",
+         series["MUSIC"][-1] > 1.2 * series["Zookeeper"][-1]),
+        ("MUSIC outperforms MSCP ~2-3.5x at large batches",
+         series["MUSIC"][-1] > 1.7 * series["MSCP"][-1]),
+    ]
+    if 1 in batches:
+        index = batches.index(1)
+        checks.append(
+            ("Zookeeper beats MUSIC at batch 1 (paper: ~3k vs 885)",
+             series["Zookeeper"][index] > series["MUSIC"][index])
+        )
+    text = render_series(
+        "Fig 6(a) — write throughput vs batch size, lUs, 10 B (writes/s)",
+        "batch", series, batches,
+    )
+    return ExperimentResult("fig6a", "Throughput vs batch size", text,
+                            {"series": series, "batches": batches}, checks)
+
+
+def fig6b() -> ExperimentResult:
+    """Fig 6(b): write throughput vs data size at batch 100."""
+    p = _params()
+    sizes = p["fig6_sizes"]
+    series: Dict[str, List[float]] = {"MUSIC": [], "MSCP": [], "Zookeeper": []}
+    for size_label in sizes:
+        value_bytes = PAPER_DATA_SIZES[size_label]
+        warmup = 4_000.0
+        series["MUSIC"].append(_music_like_throughput(
+            build_music, 100, value_bytes, p["fig6_threads"], warmup,
+            p["thr_window_ms"], 47))
+        series["MSCP"].append(_music_like_throughput(
+            build_mscp, 100, value_bytes, p["fig6_threads"], warmup,
+            p["thr_window_ms"], 47))
+        series["Zookeeper"].append(_zookeeper_throughput(
+            100, value_bytes, p["fig6_threads"], p["thr_warmup_ms"],
+            p["thr_window_ms"], 47))
+    first_ratio = series["MUSIC"][0] / series["Zookeeper"][0]
+    last_ratio = series["MUSIC"][-1] / series["Zookeeper"][-1]
+    checks = [
+        ("MUSIC beats Zookeeper at batch 100 for all sizes (paper 2.45-17x)",
+         all(m > z for m, z in zip(series["MUSIC"], series["Zookeeper"]))),
+        ("the gap widens with data size (leader queueing)",
+         last_ratio > 2.0 * first_ratio),
+        ("at 256KB the gap is large (paper ~17x; shape: >5x)",
+         last_ratio > 5.0),
+    ]
+    text = render_series(
+        "Fig 6(b) — write throughput vs data size, lUs, batch 100 (writes/s)",
+        "data size", series, sizes,
+    )
+    return ExperimentResult("fig6b", "Throughput vs data size", text,
+                            {"series": series, "sizes": sizes}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — CockroachDB comparison
+# ---------------------------------------------------------------------------
+
+
+def _cockroach_cs_latency(batch: int, value_bytes: int, samples: int, seed: int) -> float:
+    sim = Simulator()
+    network = Network(sim, PAPER_PROFILES["lUs"], streams=RandomStreams(seed))
+    nodes = build_cockroach(sim, network, list(PAPER_PROFILES["lUs"].site_names))
+    result = measure_latency(
+        sim, cockroach_cs_operation(nodes, batch=batch, value_bytes=value_bytes),
+        samples=samples,
+    )
+    return result.mean
+
+
+def _music_cs_latency(batch: int, value_bytes: int, samples: int, seed: int) -> float:
+    deployment = build_music(profile_name="lUs", seed=seed)
+    result = measure_latency(
+        deployment.sim,
+        music_cs_operation(deployment, batch=batch, value_bytes=value_bytes),
+        samples=samples,
+    )
+    return result.mean
+
+
+def fig7a() -> ExperimentResult:
+    """Fig 7(a): critical-section latency vs batch size, MUSIC vs Cdb."""
+    p = _params()
+    batches = p["fig7_batches"]
+    series: Dict[str, List[float]] = {"MUSIC": [], "CockroachDB": []}
+    for batch in batches:
+        series["MUSIC"].append(_music_cs_latency(batch, 10, p["fig7_samples"], 48))
+        series["CockroachDB"].append(
+            _cockroach_cs_latency(batch, 10, p["fig7_samples"], 48))
+    checks = []
+    for index, batch in enumerate(batches):
+        ratio = series["CockroachDB"][index] / series["MUSIC"][index]
+        checks.append(
+            (f"batch {batch}: Cdb/MUSIC latency ratio {ratio:.1f} in ~2-5x "
+             "(paper 2-4x)", 1.6 < ratio < 5.5)
+        )
+    text = render_series(
+        "Fig 7(a) — mean critical-section latency vs batch size, lUs (ms)",
+        "batch", series, batches,
+    )
+    return ExperimentResult("fig7a", "CS latency vs batch (Cdb)", text,
+                            {"series": series, "batches": batches}, checks)
+
+
+def fig7b() -> ExperimentResult:
+    """Fig 7(b): critical-section latency vs data size at batch 100."""
+    p = _params()
+    sizes = p["fig7_sizes"]
+    batch = 100
+    series: Dict[str, List[float]] = {"MUSIC": [], "CockroachDB": []}
+    for size_label in sizes:
+        value_bytes = PAPER_DATA_SIZES[size_label]
+        series["MUSIC"].append(_music_cs_latency(batch, value_bytes, 2, 49))
+        series["CockroachDB"].append(
+            _cockroach_cs_latency(batch, value_bytes, 2, 49))
+    checks = []
+    for index, size_label in enumerate(sizes):
+        ratio = series["CockroachDB"][index] / series["MUSIC"][index]
+        checks.append(
+            (f"{size_label}: Cdb/MUSIC ratio {ratio:.1f} in ~2-5x (paper 2-4x)",
+             1.6 < ratio < 5.5)
+        )
+    text = render_series(
+        "Fig 7(b) — mean CS latency vs data size, batch 100, lUs (ms)",
+        "data size", series, sizes,
+    )
+    return ExperimentResult("fig7b", "CS latency vs data size (Cdb)", text,
+                            {"series": series, "sizes": sizes}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — latency CDFs
+# ---------------------------------------------------------------------------
+
+
+def fig8() -> ExperimentResult:
+    """Fig 8: latency CDFs of MUSIC vs MSCP on l1 and lUs.
+
+    Unlike the mean-latency runs, CDFs need per-operation variation, so
+    these deployments enable the network's jitter model (a NetEm-style
+    uniform inflation of each one-way delay).
+    """
+    p = _params()
+    cdfs: Dict[str, List] = {}
+    medians: Dict[str, float] = {}
+    for profile_name in ("l1", "lUs"):
+        for label, builder in (("MUSIC", build_music), ("MSCP", build_mscp)):
+            sim = Simulator()
+            network = Network(
+                sim, PAPER_PROFILES[profile_name],
+                streams=RandomStreams(50), jitter_fraction=0.25,
+            )
+            deployment = builder(profile_name=profile_name, seed=50,
+                                 sim=sim, network=network)
+            result = measure_latency(
+                deployment.sim, music_cs_operation(deployment, batch=1),
+                samples=p["cdf_samples"],
+            )
+            name = f"{label}-{profile_name}"
+            cdfs[name] = cdf_points(result.latencies_ms)
+            medians[name] = summarize(result.latencies_ms).p50
+    lus_ratio = medians["MUSIC-lUs"] / medians["MSCP-lUs"]
+    checks = [
+        ("lUs: MUSIC ~30% below MSCP at the median "
+         f"(ratio {lus_ratio:.2f}, paper ~0.70)", 0.55 < lus_ratio < 0.85),
+        ("l1: both well under one WAN RTT of the lUs profile",
+         max(medians["MUSIC-l1"], medians["MSCP-l1"]) < 53.0),
+        ("MUSIC never slower than MSCP at the median",
+         medians["MUSIC-lUs"] <= medians["MSCP-lUs"]
+         and medians["MUSIC-l1"] <= medians["MSCP-l1"]),
+    ]
+    text = render_cdf("Fig 8 — critical-section latency CDFs (ms)", cdfs)
+    return ExperimentResult("fig8", "Latency CDFs", text,
+                            {"medians": medians}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — YCSB
+# ---------------------------------------------------------------------------
+
+
+def _ycsb_run(builder, workload, p, seed: int) -> Dict[str, float]:
+    deployment = builder(profile_name="lUs", seed=seed)
+    sim = deployment.sim
+    streams = RandomStreams(seed)
+    stats = {"ops": 0, "collisions": 0, "latency_sum": 0.0}
+    warmup_end = p["ycsb_warmup_ms"]
+    window_end = warmup_end + p["ycsb_window_ms"]
+    sites = list(deployment.profile.site_names)
+
+    def worker(thread_index: int):
+        client = deployment.client(sites[thread_index % len(sites)],
+                                   f"ycsb-{thread_index}")
+        # A per-worker stream: both systems' workers then draw identical
+        # key/op sequences, so runs differ only in system behaviour, not
+        # in which worker happened to hit the hot key.
+        rng = streams.stream(f"ycsb:{workload.name}:{thread_index}")
+        zipf = ZipfianGenerator(p["ycsb_keys"], rng)
+        while True:
+            key = f"ycsb-{zipf.next()}"
+            is_read = rng.random() < workload.read_fraction
+            start = sim.now
+            contended = False
+            try:
+                lock_ref = yield from client.create_lock_ref(key)
+                granted = yield from client.acquire_lock(key, lock_ref)
+                if not granted:
+                    contended = True
+                    granted = yield from client.acquire_lock_blocking(key, lock_ref)
+                if is_read:
+                    yield from client.critical_get(key, lock_ref)
+                else:
+                    yield from client.critical_put(key, lock_ref, SizedValue(10))
+                yield from client.release_lock(key, lock_ref)
+            except ReproError:
+                continue
+            if warmup_end <= sim.now < window_end:
+                stats["ops"] += 1
+                stats["latency_sum"] += sim.now - start
+                if contended:
+                    stats["collisions"] += 1
+
+    for index in range(p["ycsb_threads"]):
+        sim.process(worker(index), name=f"ycsb-{index}")
+    sim.run(until=window_end, strict=False)
+    ops = max(stats["ops"], 1)
+    return {
+        "throughput": stats["ops"] / (p["ycsb_window_ms"] / 1000.0),
+        "mean_latency": stats["latency_sum"] / ops,
+        "collision_pct": 100.0 * stats["collisions"] / ops,
+    }
+
+
+def _ycsb_mean(builder, workload, p) -> Dict[str, float]:
+    """Average a mix over several seeds: contended-lock queueing on hot
+    Zipfian keys makes single runs noisy."""
+    runs = [_ycsb_run(builder, workload, p, seed=seed) for seed in p["ycsb_seeds"]]
+    return {
+        metric: sum(run[metric] for run in runs) / len(runs)
+        for metric in runs[0]
+    }
+
+
+def fig9() -> ExperimentResult:
+    """Fig 9: YCSB R / UR / U mixes, MUSIC vs MSCP."""
+    p = _params()
+    rows = []
+    checks = []
+    collision_pcts = []
+    for workload in PAPER_YCSB_WORKLOADS:
+        music = _ycsb_mean(build_music, workload, p)
+        mscp = _ycsb_mean(build_mscp, workload, p)
+        rows.append([
+            workload.name,
+            music["throughput"], mscp["throughput"],
+            music["mean_latency"], mscp["mean_latency"],
+            music["collision_pct"],
+        ])
+        collision_pcts.append(music["collision_pct"])
+        if workload.read_fraction < 1.0:
+            # Throughput at quick scale carries hot-key queueing noise
+            # (EXPERIMENTS.md deviation D3); the sturdier per-op signal
+            # is the latency check below.
+            checks.append(
+                (f"{workload.name}: MUSIC throughput not below MSCP "
+                 "(paper +6-20%; quick-scale tolerance 10%)",
+                 music["throughput"] >= 0.90 * mscp["throughput"])
+            )
+            checks.append(
+                (f"{workload.name}: MUSIC latency not above MSCP "
+                 "(paper -0-20%; quick-scale queueing noise tolerance 15%)",
+                 music["mean_latency"] <= 1.15 * mscp["mean_latency"])
+            )
+        else:
+            checks.append(
+                (f"{workload.name}: read-only mix comparable across systems",
+                 abs(music["throughput"] - mscp["throughput"])
+                 < 0.25 * max(music["throughput"], mscp["throughput"]))
+            )
+    checks.append(
+        ("lock collisions occur but stay modest (paper ~5.5%)",
+         0.0 < max(collision_pcts) < 35.0)
+    )
+    text = render_table(
+        "Fig 9 — YCSB on lUs (Zipfian keys)",
+        ["mix", "MUSIC op/s", "MSCP op/s", "MUSIC ms", "MSCP ms", "collisions %"],
+        rows,
+    )
+    return ExperimentResult("fig9", "YCSB workloads", text, {"rows": rows}, checks)
+
+
+# ---------------------------------------------------------------------------
+# X-B4 — the analytic cost model
+# ---------------------------------------------------------------------------
+
+
+def cost_model_xb4() -> ExperimentResult:
+    """X-B4: 2xC vs 2C+(x+1)Q, plus our measured per-op costs."""
+    generous = CostModel.generous()
+    measured = CostModel(consensus=219.0, quorum=54.5)  # our Fig 5b numbers
+    rows = []
+    for updates in (1, 3, 10, 100, 1000):
+        rows.append([
+            updates,
+            generous.music_critical_section(updates),
+            generous.per_update_transactions(updates),
+            round(generous.speedup(updates), 2),
+            round(measured.speedup(updates), 2),
+        ])
+    checks = [
+        ("speedup approaches ~2x for large x (generous C=Q)",
+         1.8 < generous.speedup(1000) < 2.0),
+        ("with measured C/Q, speedup is >2x (Fig 7's 2-4x regime)",
+         measured.speedup(100) > 2.0),
+        ("single-update critical sections favour per-txn designs",
+         generous.speedup(1) < 1.0),
+    ]
+    text = render_table(
+        "X-B4 — cost model: per-update txns (2xC) vs MUSIC (2C+(x+1)Q)",
+        ["updates x", "MUSIC cost (C=Q=1)", "txn cost", "speedup (C=Q)",
+         "speedup (measured C,Q)"],
+        rows,
+    )
+    return ExperimentResult("xb4", "Cost model", text, {"rows": rows}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md §5)
+# ---------------------------------------------------------------------------
+
+
+def ablation_peek() -> ExperimentResult:
+    """Local vs quorum polling in acquireLock under contention."""
+    from ..core import MusicConfig
+
+    results = {}
+    hold_ms = 3_000.0
+    for label, peek_quorum in (("local peek", False), ("quorum peek", True)):
+        config = MusicConfig(peek_quorum=peek_quorum)
+        deployment = build_music(profile_name="lUs", music_config=config, seed=52)
+        sim = deployment.sim
+        network = deployment.network
+        # Count reads that cross the WAN during a *pure polling window*:
+        # one client holds the lock while five wait, so the only store
+        # traffic in the window is the waiters' acquireLock polling.
+        counting = {"on": False, "wan": 0, "polls": 0}
+
+        def tap(msg, state=counting, net=network):
+            if not state["on"] or msg.kind != "store_read":
+                return
+            state["polls"] += 1
+            if net.site_of(msg.src) != net.site_of(msg.dst):
+                state["wan"] += 1
+
+        network.add_tap(tap)
+        holder = deployment.client("Ohio")
+        waiters = [deployment.client(site)
+                   for site in deployment.profile.site_names for _ in range(2)]
+
+        def scenario():
+            cs = yield from holder.critical_section("hot")
+            refs = []
+            for waiter in waiters:
+                ref = yield from waiter.create_lock_ref("hot")
+                refs.append(ref)
+            counting["on"] = True
+            polls = [sim.process(w.acquire_lock_blocking("hot", r, timeout_ms=hold_ms))
+                     for w, r in zip(waiters, refs)]
+            yield sim.timeout(hold_ms)
+            counting["on"] = False
+            yield from cs.exit()
+            for proc, waiter, ref in zip(polls, waiters, refs):
+                yield proc
+                yield from waiter.release_lock("hot", ref)
+
+        sim.run_until_complete(sim.process(scenario()), limit=1e8)
+        results[label] = {"wan_reads": counting["wan"], "polls": counting["polls"]}
+
+    local_wan = results["local peek"]["wan_reads"]
+    quorum_wan = results["quorum peek"]["wan_reads"]
+    checks = [
+        ("local polling never crosses the WAN", local_wan == 0),
+        ("quorum polling pays 2 WAN reads per poll", quorum_wan > 10),
+    ]
+    rows = [[label, r["polls"], r["wan_reads"]] for label, r in results.items()]
+    text = render_table(
+        "Ablation — acquireLock polling for one held lock, 6 waiters, "
+        f"{hold_ms:.0f} ms window",
+        ["variant", "poll store_reads", "of which WAN-crossing"],
+        rows,
+    )
+    return ExperimentResult("ablation_peek", "Peek ablation", text,
+                            {"results": results}, checks)
+
+
+def ablation_sync() -> ExperimentResult:
+    """Lazy (synchFlag-gated) vs always-sync on lock acquisition."""
+    from ..core import MusicConfig
+
+    latencies = {}
+    for label, always in (("lazy sync (MUSIC)", False), ("always sync", True)):
+        config = MusicConfig(always_sync=always)
+        deployment = build_music(profile_name="lUs", music_config=config, seed=53)
+        result = measure_latency(
+            deployment.sim, music_cs_operation(deployment, batch=1), samples=10
+        )
+        latencies[label] = result.mean
+    overhead = latencies["always sync"] / latencies["lazy sync (MUSIC)"]
+    checks = [
+        ("always-sync adds measurable cost to every CS entry", overhead > 1.1),
+    ]
+    text = render_table(
+        "Ablation — synchFlag laziness (batch-1 CS latency, lUs)",
+        ["variant", "mean CS latency (ms)"],
+        [[label, value] for label, value in latencies.items()],
+    )
+    return ExperimentResult("ablation_sync", "Sync ablation", text,
+                            {"latencies": latencies}, checks)
+
+
+def ext_hierarchical() -> ExperimentResult:
+    """Extension: hierarchical MUSIC (the paper's future work) vs flat
+    MUSIC under site-local bursts of contention on one hot key."""
+    from ..core.hierarchical import HierarchicalClient
+
+    burst = 12  # colocated critical sections per site
+
+    def measure(hierarchical: bool) -> Dict[str, float]:
+        deployment = build_music(profile_name="lUs", seed=54)
+        sim = deployment.sim
+        lwt_count = {"n": 0}
+        deployment.network.add_tap(
+            lambda msg: lwt_count.__setitem__(
+                "n", lwt_count["n"] + (1 if msg.kind == "paxos_prepare" else 0))
+        )
+        hclients = {
+            site: HierarchicalClient(deployment.replica_at(site), idle_release_ms=100.0)
+            for site in deployment.profile.site_names
+        }
+
+        def worker(site, index):
+            if hierarchical:
+                client = hclients[site]
+                section = yield from client.critical_section("hot")
+                value = yield from section.get()
+                yield from section.put((value or 0) + 1)
+                yield from section.exit()
+            else:
+                client = deployment.client(site, f"flat-{site}-{index}")
+                cs = yield from client.critical_section("hot", timeout_ms=1e8)
+                value = yield from cs.get()
+                yield from cs.put((value or 0) + 1)
+                yield from cs.exit()
+
+        start = sim.now
+        procs = [sim.process(worker(site, index))
+                 for site in deployment.profile.site_names
+                 for index in range(burst)]
+        for proc in procs:
+            sim.run_until_complete(proc, limit=1e9)
+        makespan = sim.now - start
+
+        def check():
+            client = deployment.client("Ohio")
+            cs = yield from client.critical_section("hot", timeout_ms=1e8)
+            value = yield from cs.get()
+            yield from cs.exit()
+            return value
+
+        final = sim.run_until_complete(sim.process(check()), limit=1e9)
+        return {"makespan_ms": makespan, "lwt_prepares": lwt_count["n"],
+                "final": final}
+
+    flat = measure(hierarchical=False)
+    tiered = measure(hierarchical=True)
+    total = burst * 3
+    checks = [
+        ("both variants apply every increment (no lost updates)",
+         flat["final"] == total and tiered["final"] == total),
+        ("hierarchical completes the bursts faster",
+         tiered["makespan_ms"] < 0.7 * flat["makespan_ms"]),
+        ("hierarchical issues far fewer WAN consensus operations",
+         tiered["lwt_prepares"] < 0.5 * flat["lwt_prepares"]),
+    ]
+    rows = [
+        ["flat MUSIC", flat["makespan_ms"], flat["lwt_prepares"], flat["final"]],
+        ["hierarchical", tiered["makespan_ms"], tiered["lwt_prepares"], tiered["final"]],
+    ]
+    text = render_table(
+        f"Extension — hierarchical MUSIC: {burst} colocated CSs per site on one key",
+        ["variant", "makespan (ms)", "paxos prepares", "final counter"],
+        rows,
+    )
+    return ExperimentResult("ext_hierarchical", "Hierarchical MUSIC", text,
+                            {"flat": flat, "hierarchical": tiered}, checks)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table2": table2,
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig6a": fig6a,
+    "fig6b": fig6b,
+    "fig7a": fig7a,
+    "fig7b": fig7b,
+    "fig8": fig8,
+    "fig9": fig9,
+    "xb4": cost_model_xb4,
+    "ablation_peek": ablation_peek,
+    "ablation_sync": ablation_sync,
+    "ext_hierarchical": ext_hierarchical,
+}
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; have {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[exp_id]()

@@ -1,0 +1,170 @@
+"""Per-system workload drivers used by the experiments.
+
+Each factory returns a worker generator (for throughput runs) or an
+operation generator (for latency runs) that performs the paper's unit
+of work:
+
+- MUSIC/MSCP: a critical section = createLockRef, acquireLock (polling),
+  ``batch`` criticalPuts, releaseLock — Listing 1 with a batch loop;
+- CassaEV:    a plain eventually-consistent Cassandra write;
+- Zookeeper:  the lock recipe around ``batch`` setData calls;
+- CockroachDB: the X-B3 per-update locking transactions.
+
+Throughput workers count one completion per *state update* (the per-
+write accounting of Figs. 4 and 6) and spread threads round-robin over
+the profile's sites, as the paper runs one load generator per site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List
+
+from ..baselines.cockroach import CockroachClient, CockroachCriticalSection
+from ..baselines.zookeeper import NodeExistsError, ZkLock, ZkSession
+from ..core.deployment import MusicDeployment
+from ..errors import ReproError
+from ..store import Consistency
+from ..workloads import KeyRange, SizedValue
+
+__all__ = [
+    "music_worker",
+    "cassa_ev_worker",
+    "zookeeper_worker",
+    "music_cs_operation",
+    "cockroach_cs_operation",
+]
+
+
+def _site_for(deployment_sites: List[str], thread_index: int) -> str:
+    return deployment_sites[thread_index % len(deployment_sites)]
+
+
+def music_worker(
+    deployment: MusicDeployment,
+    thread_index: int,
+    record: Callable[..., None],
+    record_error: Callable[[], None],
+    batch: int = 1,
+    value_bytes: int = 10,
+) -> Generator[Any, Any, None]:
+    """Critical sections forever; records one count per criticalPut."""
+    sites = list(deployment.profile.site_names)
+    client = deployment.client(_site_for(sites, thread_index), f"w{thread_index}")
+    keys = KeyRange(thread_index)
+    while True:
+        key = keys.next_key()
+        try:
+            lock_ref = yield from client.create_lock_ref(key)
+            yield from client.acquire_lock_blocking(key, lock_ref)
+            for update in range(batch):
+                yield from client.critical_put(
+                    key, lock_ref, SizedValue(value_bytes, tag=update)
+                )
+                record()
+            yield from client.release_lock(key, lock_ref)
+        except ReproError:
+            record_error()
+
+
+def cassa_ev_worker(
+    deployment: MusicDeployment,
+    thread_index: int,
+    record: Callable[..., None],
+    record_error: Callable[[], None],
+    value_bytes: int = 10,
+) -> Generator[Any, Any, None]:
+    """CassaEV: unlocked eventual writes via the nearest replica."""
+    sites = list(deployment.profile.site_names)
+    replica = deployment.replica_at(_site_for(sites, thread_index))
+    keys = KeyRange(thread_index, prefix="ev")
+    while True:
+        key = keys.next_key()
+        try:
+            yield from replica.put(key, SizedValue(value_bytes))
+            record()
+        except ReproError:
+            record_error()
+
+
+def zookeeper_worker(
+    servers,
+    thread_index: int,
+    record: Callable[..., None],
+    record_error: Callable[[], None],
+    batch: int = 1,
+    value_bytes: int = 10,
+) -> Generator[Any, Any, None]:
+    """ZK critical sections: lock recipe + ``batch`` setData calls."""
+    server = servers[thread_index % len(servers)]
+    session = ZkSession(server)
+    yield from session.open()
+    data_path = f"/bench/t{thread_index}"
+    try:
+        root_exists = yield from session.exists("/bench")
+        if not root_exists:
+            yield from session.create("/bench")
+    except NodeExistsError:
+        pass
+    try:
+        yield from session.create(data_path, SizedValue(value_bytes))
+    except NodeExistsError:
+        pass
+    while True:
+        lock = ZkLock(session, f"t{thread_index}")
+        try:
+            yield from lock.acquire()
+            for update in range(batch):
+                yield from session.set_data(data_path, SizedValue(value_bytes, tag=update))
+                record()
+            yield from lock.release()
+        except ReproError:
+            record_error()
+
+
+def music_cs_operation(
+    deployment: MusicDeployment,
+    site: str = "Ohio",
+    batch: int = 1,
+    value_bytes: int = 10,
+    key_prefix: str = "lat",
+):
+    """An operation factory for measure_latency: one full MUSIC CS."""
+    client = deployment.client(site, "latency-client")
+
+    def operation(index: int) -> Generator[Any, Any, None]:
+        key = f"{key_prefix}-{index}"
+        lock_ref = yield from client.create_lock_ref(key)
+        yield from client.acquire_lock_blocking(key, lock_ref)
+        for update in range(batch):
+            yield from client.critical_put(key, lock_ref, SizedValue(value_bytes, tag=update))
+        yield from client.release_lock(key, lock_ref)
+
+    return operation
+
+
+def cassa_ev_operation(deployment: MusicDeployment, site: str = "Ohio",
+                       value_bytes: int = 10):
+    replica = deployment.replica_at(site)
+
+    def operation(index: int) -> Generator[Any, Any, None]:
+        yield from replica.put(f"ev-lat-{index}", SizedValue(value_bytes))
+
+    return operation
+
+
+def cockroach_cs_operation(
+    nodes,
+    gateway_index: int = 0,
+    batch: int = 1,
+    value_bytes: int = 10,
+    key_prefix: str = "crdb-lat",
+):
+    """One X-B3 critical section: ``batch`` per-update locking txns."""
+    client = CockroachClient(nodes[gateway_index], client_id="latency")
+
+    def operation(index: int) -> Generator[Any, Any, None]:
+        cs = CockroachCriticalSection(client, f"{key_prefix}-{index}", owner="latency")
+        for update in range(batch):
+            yield from cs.update(f"{key_prefix}-data-{index}", SizedValue(value_bytes, tag=update))
+
+    return operation

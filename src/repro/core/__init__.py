@@ -1,0 +1,34 @@
+"""MUSIC: critical sections with entry-consistency-under-failures semantics."""
+
+from .client import CriticalSection, MusicClient
+from .config import MusicConfig
+from .deployment import MusicDeployment, build_music
+from .failure_detector import FailureDetector
+from .hierarchical import HierarchicalClient, LocalSection, SiteLockProxy
+from .multikey import MultiKeyCriticalSection, enter_multi
+from .replica import SYNCH_ROW, VALUE_ROW, MusicReplica
+from .service import RemoteMusicClient, install_service
+from .timestamps import MAX_SCALAR, VectorTimestamp, check_overflow, v2s
+
+__all__ = [
+    "CriticalSection",
+    "FailureDetector",
+    "HierarchicalClient",
+    "LocalSection",
+    "MAX_SCALAR",
+    "MultiKeyCriticalSection",
+    "MusicClient",
+    "MusicConfig",
+    "MusicDeployment",
+    "MusicReplica",
+    "RemoteMusicClient",
+    "SYNCH_ROW",
+    "SiteLockProxy",
+    "VALUE_ROW",
+    "VectorTimestamp",
+    "build_music",
+    "check_overflow",
+    "enter_multi",
+    "install_service",
+    "v2s",
+]

@@ -1,0 +1,203 @@
+"""The MUSIC client library: retries, failover, and the critical-section
+usage pattern of Listing 1.
+
+A client is colocated with a MUSIC replica (the library deployment of
+Section VI) but holds the full replica list: per Section III-A failure
+semantics, an operation nacked because a quorum of back-end replicas was
+unreachable is retried — "usually at a different MUSIC replica" — until
+it succeeds, the retry budget is exhausted, or the client learns it is
+no longer the lockholder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..errors import (
+    LockContention,
+    NotLockHolder,
+    QuorumUnavailable,
+    ReproError,
+    RpcTimeout,
+)
+from ..sim import RandomStreams
+from .config import MusicConfig
+from .replica import MusicReplica
+
+__all__ = ["MusicClient", "CriticalSection"]
+
+_RETRYABLE = (QuorumUnavailable, RpcTimeout, LockContention)
+
+
+class MusicClient:
+    """A client of the MUSIC service."""
+
+    def __init__(
+        self,
+        replicas: List[MusicReplica],
+        site: str,
+        client_id: str = "client",
+        config: Optional[MusicConfig] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a MUSIC client needs at least one replica")
+        self.site = site
+        self.client_id = client_id
+        self.config = config or replicas[0].config
+        profile = replicas[0].network.profile
+        # Home replica first, then by proximity — the failover order.
+        self.replicas = sorted(
+            replicas, key=lambda r: profile.rtt(site, r.site)
+        )
+        self._rng = (streams or RandomStreams(0)).stream(f"client:{client_id}")
+        self.sim = replicas[0].sim
+
+    @property
+    def replica(self) -> MusicReplica:
+        """The currently preferred (nearest non-failed) replica."""
+        for replica in self.replicas:
+            if not replica.failed:
+                return replica
+        return self.replicas[0]
+
+    # -- retry plumbing ---------------------------------------------------------
+
+    def _with_failover(self, op_name: str, make_op) -> Generator[Any, Any, Any]:
+        """Run ``make_op(replica)`` with retries across replicas on nacks."""
+        last_error: Optional[BaseException] = None
+        attempts = self.config.op_retry_limit
+        for attempt in range(attempts):
+            replica = self.replicas[attempt % len(self.replicas)]
+            if replica.failed:
+                continue
+            try:
+                result = yield from make_op(replica)
+                return result
+            except _RETRYABLE as error:
+                last_error = error
+                yield self.sim.timeout(
+                    self.config.op_retry_delay_ms * (1 + self._rng.random())
+                )
+        raise last_error or QuorumUnavailable(f"{op_name}: no replica reachable")
+
+    # -- MUSIC operations -------------------------------------------------------
+
+    def create_lock_ref(self, key: str) -> Generator[Any, Any, int]:
+        ref = yield from self._with_failover(
+            "createLockRef", lambda replica: replica.create_lock_ref(key)
+        )
+        return ref
+
+    def acquire_lock(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        granted = yield from self._with_failover(
+            "acquireLock", lambda replica: replica.acquire_lock(key, lock_ref)
+        )
+        return granted
+
+    def acquire_lock_blocking(
+        self, key: str, lock_ref: int, timeout_ms: Optional[float] = None
+    ) -> Generator[Any, Any, bool]:
+        """Poll acquire_lock with backoff until granted.
+
+        Returns True when granted; False if ``timeout_ms`` elapsed first.
+        Raises :class:`NotLockHolder` if the lockRef was preempted while
+        waiting.
+        """
+        deadline = None if timeout_ms is None else self.sim.now + timeout_ms
+        interval = self.config.acquire_poll_interval_ms
+        while True:
+            granted = yield from self.acquire_lock(key, lock_ref)
+            if granted:
+                return True
+            if deadline is not None and self.sim.now >= deadline:
+                return False
+            yield self.sim.timeout(interval * (1 + 0.2 * self._rng.random()))
+            interval = min(
+                interval * self.config.acquire_poll_backoff,
+                self.config.acquire_poll_max_ms,
+            )
+
+    def critical_put(self, key: str, lock_ref: int, value: Any) -> Generator[Any, Any, None]:
+        """criticalPut, retried until acknowledged (the client obligation
+        behind the 'true value' definition of Section III-A)."""
+
+        def attempt(replica) -> Generator[Any, Any, bool]:
+            done = yield from replica.critical_put(key, lock_ref, value)
+            if not done:
+                # Guard said "not first yet": the local lock store lags;
+                # surface as retryable.
+                raise QuorumUnavailable("local lock store behind; retry")
+            return True
+
+        yield from self._with_failover("criticalPut", attempt)
+
+    def critical_get(self, key: str, lock_ref: int) -> Generator[Any, Any, Any]:
+        def attempt(replica) -> Generator[Any, Any, Any]:
+            ok, value = yield from replica.critical_get(key, lock_ref)
+            if not ok:
+                raise QuorumUnavailable("local lock store behind; retry")
+            return value
+
+        value = yield from self._with_failover("criticalGet", attempt)
+        return value
+
+    def release_lock(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        try:
+            done = yield from self._with_failover(
+                "releaseLock", lambda replica: replica.release_lock(key, lock_ref)
+            )
+            return done
+        except NotLockHolder:
+            return True  # already preempted: nothing to release
+
+    def put(self, key: str, value: Any) -> Generator[Any, Any, None]:
+        yield from self._with_failover("put", lambda replica: replica.put(key, value))
+
+    def get(self, key: str) -> Generator[Any, Any, Any]:
+        value = yield from self._with_failover("get", lambda replica: replica.get(key))
+        return value
+
+    def get_all_keys(self) -> Generator[Any, Any, list]:
+        keys = yield from self._with_failover(
+            "getAllKeys", lambda replica: replica.get_all_keys()
+        )
+        return keys
+
+    # -- Listing 1 as a helper -----------------------------------------------------
+
+    def critical_section(
+        self, key: str, timeout_ms: Optional[float] = None
+    ) -> Generator[Any, Any, "CriticalSection"]:
+        """Enter a critical section on ``key``: create + acquire (blocking).
+
+        Returns a :class:`CriticalSection` handle; callers must ``yield
+        from handle.exit()`` when done (or abandon it on failure, after
+        which preemption will reclaim the lock).
+        """
+        lock_ref = yield from self.create_lock_ref(key)
+        granted = yield from self.acquire_lock_blocking(key, lock_ref, timeout_ms)
+        if not granted:
+            # Give the lock back rather than leaving an orphan lockRef.
+            yield from self.release_lock(key, lock_ref)
+            raise ReproError(f"timed out waiting for the lock on {key!r}")
+        return CriticalSection(self, key, lock_ref)
+
+
+class CriticalSection:
+    """A held lock: get/put sugar bound to (client, key, lockRef)."""
+
+    def __init__(self, client: MusicClient, key: str, lock_ref: int) -> None:
+        self.client = client
+        self.key = key
+        self.lock_ref = lock_ref
+
+    def get(self) -> Generator[Any, Any, Any]:
+        value = yield from self.client.critical_get(self.key, self.lock_ref)
+        return value
+
+    def put(self, value: Any) -> Generator[Any, Any, None]:
+        yield from self.client.critical_put(self.key, self.lock_ref, value)
+
+    def exit(self) -> Generator[Any, Any, None]:
+        yield from self.client.release_lock(self.key, self.lock_ref)

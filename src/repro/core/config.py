@@ -1,0 +1,54 @@
+"""MUSIC configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MusicConfig"]
+
+
+@dataclass
+class MusicConfig:
+    """Tunables for MUSIC replicas and clients.
+
+    ``period_ms`` is the paper's T: the maximum time a lockholder may
+    spend in one critical section, which both bounds the v2s time
+    component and acts as the lease after which a lockholder can be
+    preempted.  ``delta`` is the paper's δ: the fractional lockRef bump
+    forcedRelease applies to its synchFlag write so it beats a racing
+    reset by the released lockRef but loses to the next lockRef's reset
+    (the paper used 1 microsecond in scalar space; any 0 < δ < 1 works).
+    """
+
+    # T: maximum critical-section duration in ms (defaults long enough
+    # that benchmark critical sections never expire; failure tests
+    # shrink it).
+    period_ms: float = 10_000_000.0
+
+    # δ for forcedRelease synchFlag stamps, in lockRef units.
+    delta: float = 1e-6
+
+    # Client-side behaviour.
+    acquire_poll_interval_ms: float = 10.0  # backoff between acquireLock polls
+    acquire_poll_backoff: float = 1.5  # multiplicative backoff factor
+    acquire_poll_max_ms: float = 500.0
+    op_retry_limit: int = 5  # retries of a nacked operation
+    op_retry_delay_ms: float = 100.0
+
+    # Failure detection: how long a granted lock may sit idle before any
+    # MUSIC replica may preempt it, and how long an enqueued-but-never-
+    # acquired (orphan) lockRef may linger.
+    detector_scan_interval_ms: float = 5_000.0
+    lease_timeout_ms: float = 60_000.0
+    orphan_timeout_ms: float = 60_000.0
+    failure_detection_enabled: bool = False
+
+    # Data/lock table names.
+    data_table: str = "music_data"
+
+    # Ablation knobs (not part of MUSIC proper; see DESIGN.md §5):
+    # poll acquireLock against a quorum instead of the local replica,
+    peek_quorum: bool = False
+    # and synchronize the data store on every acquire, not just when the
+    # synchFlag is set.
+    always_sync: bool = False

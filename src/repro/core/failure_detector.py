@@ -1,0 +1,81 @@
+"""Timeout-based failure detection and lock preemption.
+
+Section III-A: "any MUSIC replica can preempt the lock from a lockholder
+that appears to have failed, using time-outs for failure detection."
+The detector is deliberately *imperfect* — it preempts on silence, so a
+slow or partitioned (but alive) lockholder will be falsely detected.
+MUSIC's ECF semantics are designed to stay safe under exactly that
+behaviour, and the failure-injection tests drive this daemon to prove
+it.
+
+Two timeouts are enforced per queue head:
+
+- a granted lock whose lease has been idle past ``lease_timeout_ms``;
+- an *orphan* lockRef (enqueued but never acquired, e.g. the client died
+  after createLockRef) older than ``orphan_timeout_ms`` — Section IV-B's
+  "when the orphan lockRef becomes first in the queue, it will be
+  removed by forcedRelease".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import ReproError
+from ..lockstore import LOCK_TABLE
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """A daemon scanning lock queues on behalf of one MUSIC replica."""
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self.config = replica.config
+        self.preemptions = 0
+        self._process = None
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.replica.sim.process(
+                self._scan_loop(), name=f"detector:{self.replica.node_id}"
+            )
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.interrupt("detector stopped")
+            self._process = None
+
+    def _scan_loop(self) -> Generator[Any, Any, None]:
+        sim = self.replica.sim
+        while True:
+            yield sim.timeout(self.config.detector_scan_interval_ms)
+            if self.replica.failed:
+                continue
+            try:
+                keys = yield from self.replica.coordinator.scan_keys(LOCK_TABLE)
+            except ReproError:
+                continue
+            for key in keys:
+                try:
+                    yield from self._check_key(key)
+                except ReproError:
+                    continue  # transient back-end trouble; rescan later
+
+    def _check_key(self, key: str) -> Generator[Any, Any, None]:
+        # A quorum peek: preempting from an arbitrarily stale local view
+        # would release locks that were already handed over.
+        entry = yield from self.replica.lock_store.peek_quorum(key)
+        if entry is None:
+            return
+        now = self.replica.clock.now()
+        if entry.start_time is not None:
+            expired = now - entry.start_time > self.config.lease_timeout_ms
+        else:
+            enqueued = entry.enqueued_at if entry.enqueued_at is not None else now
+            expired = now - enqueued > self.config.orphan_timeout_ms
+        if not expired:
+            return
+        self.preemptions += 1
+        yield from self.replica.forced_release(key, entry.lock_ref)

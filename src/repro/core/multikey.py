@@ -1,0 +1,142 @@
+"""Multi-key critical sections (Section III-A's extension).
+
+The paper: "The semantics can easily be extended by following the
+deadlock-avoidance rule that locks are always acquired in lexicographic
+order, and an acquireLock on multiple keys is successful only if it is
+individually successful for all the keys in the key set."
+
+``MultiKeyCriticalSection`` implements exactly that on top of the
+single-key client operations: lockRefs are created and acquired in
+lexicographic key order (so two clients contending on overlapping key
+sets can never wait on each other in a cycle), critical operations are
+per-key under the corresponding lockRef, and losing any one lock (a
+forced release) aborts the whole section — partially-held locks are
+released and the caller may retry with fresh lockRefs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from ..errors import NotLockHolder, ReproError
+from .client import MusicClient
+
+__all__ = ["MultiKeyCriticalSection", "enter_multi"]
+
+
+class MultiKeyCriticalSection:
+    """A held set of locks over several keys."""
+
+    def __init__(self, client: MusicClient, lock_refs: Dict[str, int]) -> None:
+        self.client = client
+        self.lock_refs = dict(lock_refs)
+
+    @property
+    def keys(self) -> List[str]:
+        return sorted(self.lock_refs)
+
+    def get(self, key: str) -> Generator[Any, Any, Any]:
+        value = yield from self.client.critical_get(key, self._ref(key))
+        return value
+
+    def put(self, key: str, value: Any) -> Generator[Any, Any, None]:
+        yield from self.client.critical_put(key, self._ref(key), value)
+
+    def get_all(self) -> Generator[Any, Any, Dict[str, Any]]:
+        """Read every key of the section (a consistent multi-key view:
+        no other client can be writing any of them while we hold all)."""
+        values: Dict[str, Any] = {}
+        for key in self.keys:
+            values[key] = yield from self.get(key)
+        return values
+
+    def put_all(self, values: Dict[str, Any]) -> Generator[Any, Any, None]:
+        for key in sorted(values):
+            yield from self.put(key, values[key])
+
+    def exit(self) -> Generator[Any, Any, None]:
+        """Release every lock (reverse order, harmless but tidy)."""
+        for key in reversed(self.keys):
+            yield from self.client.release_lock(key, self.lock_refs[key])
+
+    def _ref(self, key: str) -> int:
+        if key not in self.lock_refs:
+            raise KeyError(f"{key!r} is not part of this critical section")
+        return self.lock_refs[key]
+
+
+def enter_multi(
+    client: MusicClient,
+    keys: Sequence[str],
+    timeout_ms: Optional[float] = None,
+    max_attempts: int = 10,
+) -> Generator[Any, Any, MultiKeyCriticalSection]:
+    """Acquire locks on all ``keys`` in lexicographic order.
+
+    On a mid-acquisition preemption (some lock forcibly released while
+    we wait for a later one), every held lock is released and the whole
+    acquisition restarts with fresh lockRefs.  Raises after
+    ``max_attempts`` restarts or when ``timeout_ms`` elapses.
+    """
+    if not keys:
+        raise ValueError("a multi-key critical section needs at least one key")
+    ordered = sorted(set(keys))
+    deadline = None if timeout_ms is None else client.sim.now + timeout_ms
+
+    for _attempt in range(max_attempts):
+        held: Dict[str, int] = {}
+        aborted = False
+        for key in ordered:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - client.sim.now)
+            try:
+                lock_ref = yield from client.create_lock_ref(key)
+                granted = yield from client.acquire_lock_blocking(
+                    key, lock_ref, timeout_ms=remaining
+                )
+            except NotLockHolder:
+                aborted = True
+                break
+            if not granted:  # timed out waiting
+                yield from client.release_lock(key, lock_ref)
+                yield from _release_all(client, held)
+                raise ReproError(
+                    f"timed out acquiring {key!r} of multi-key set {ordered}"
+                )
+            held[key] = lock_ref
+            # Verify earlier locks were not forcibly released while we
+            # waited on this one ("successful only if individually
+            # successful for all the keys").
+            still_held = yield from _verify_held(client, held)
+            if not still_held:
+                aborted = True
+                break
+        if not aborted:
+            return MultiKeyCriticalSection(client, held)
+        yield from _release_all(client, held)
+        yield client.sim.timeout(client.config.acquire_poll_interval_ms)
+
+    raise ReproError(
+        f"multi-key acquisition of {ordered} kept losing locks after "
+        f"{max_attempts} attempts"
+    )
+
+
+def _verify_held(client: MusicClient, held: Dict[str, int]) -> Generator[Any, Any, bool]:
+    for key, lock_ref in held.items():
+        try:
+            granted = yield from client.acquire_lock(key, lock_ref)
+        except NotLockHolder:
+            return False
+        if not granted:
+            return False
+    return True
+
+
+def _release_all(client: MusicClient, held: Dict[str, int]) -> Generator[Any, Any, None]:
+    for key, lock_ref in held.items():
+        try:
+            yield from client.release_lock(key, lock_ref)
+        except ReproError:
+            pass  # best effort: orphan cleanup will reap leftovers

@@ -1,0 +1,325 @@
+"""The MUSIC replica: ECF critical sections over the back-end stores.
+
+This is a direct implementation of the algorithms of Section IV:
+
+- ``create_lock_ref``  — one consensus write (LWT batch) to mint and
+  enqueue a per-key unique increasing lockRef;
+- ``acquire_lock``     — a *local* peek (cheap, called repeatedly while
+  polling) plus, on grant, a quorum read of the key's synchFlag; if a
+  previous lockholder was preempted mid-put, the data store is
+  synchronized (quorum read + quorum re-write + flag reset) before the
+  new lockholder enters;
+- ``critical_put`` / ``critical_get`` — guarded quorum writes/reads of
+  the data store, stamped with v2s(lockRef, time) vector timestamps and
+  bounded by the lease T;
+- ``release_lock``     — consensus dequeue;
+- ``forced_release``   — preemption of a (presumed) failed lockholder:
+  sets the synchFlag with a (lockRef + δ) stamp *before* dequeuing, so
+  the flag write can never race with the next holder's flag read;
+- ``put`` / ``get``    — the unlocked eventual-consistency convenience
+  operations of Section VI (no ECF guarantees).
+
+Guards follow the paper exactly: a request whose lockRef is later than
+the local queue head returns False ("not first yet, or local store not
+yet updated" — retry); one whose lockRef is earlier raises
+:class:`NotLockHolder` ("youAreNoLongerLockHolder").  A preempted but
+still-live client *can* slip a quorum put past a stale local peek; its
+write carries an old lockRef in its stamp and therefore cannot override
+the synchronized value — that is how the Exclusivity property survives
+false failure detection (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..errors import LeaseExpired, NotLockHolder
+from ..lockstore import LockStore
+from ..net import Network, Node
+from ..sim import NodeClock, Simulator
+from ..store import Consistency, StoreCluster, StoreCoordinator
+from .config import MusicConfig
+from .timestamps import UNLOCKED_LOCK_REF, VectorTimestamp, check_overflow, v2s
+
+__all__ = ["MusicReplica", "VALUE_ROW", "SYNCH_ROW"]
+
+# Clustering keys inside a key's data-table partition: the value row and
+# the synchFlag row are separate rows so the flag's quorum read stays
+# small regardless of the value size (the paper stores them as separate
+# columns; separate rows give the same cost split in our store model).
+VALUE_ROW = None
+SYNCH_ROW = "__synch__"
+
+# Tiny time offset (well under any realistic T) used to order the two
+# writes of a synchronization within one acquire.
+_TICK = 1e-6
+
+
+class MusicReplica(Node):
+    """One MUSIC replica, serving ECF operations for colocated clients."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        site: str,
+        store: StoreCluster,
+        config: Optional[MusicConfig] = None,
+        cores: int = 8,
+        clock: Optional[NodeClock] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, site, cores=cores, clock=clock)
+        self.config = config or MusicConfig()
+        self.store = store
+        self.coordinator: StoreCoordinator = store.coordinator_for(self)
+        self.lock_store = LockStore(self.coordinator, self.clock)
+        # Lease starts cached per (key, lockRef) once granted here.
+        self._leases: Dict[Tuple[str, int], float] = {}
+        # Optional instrumentation: called as recorder(op_name, elapsed_ms).
+        self.op_recorder: Optional[Callable[[str, float], None]] = None
+        self.counters = {"forced_releases": 0, "syncs": 0}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _record(self, op: str, started: float) -> None:
+        if self.op_recorder is not None:
+            self.op_recorder(op, self.sim.now - started)
+
+    def _stamp(self, lock_ref: float, offset: float) -> Tuple[float, str]:
+        """A store stamp carrying v2s((lockRef, offset))."""
+        scalar = lock_ref * self.config.period_ms + offset
+        return (scalar, self.node_id)
+
+    @property
+    def data_table(self) -> str:
+        return self.config.data_table
+
+    # -- createLockRef (cost: lockRef consensus write) -----------------------------
+
+    def create_lock_ref(self, key: str) -> Generator[Any, Any, int]:
+        """Mint and enqueue a lockRef, good for one critical section."""
+        started = self.sim.now
+        lock_ref = yield from self.lock_store.generate_and_enqueue(key)
+        check_overflow(lock_ref, self.config.period_ms)
+        self._record("createLockRef", started)
+        return lock_ref
+
+    # -- acquireLock (cost: synchFlag quorum read; local peek while polling) --------
+
+    def acquire_lock(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        """True once ``lock_ref`` is first in the queue and the data store
+        is synchronized; False to poll again; NotLockHolder if preempted."""
+        started = self.sim.now
+        entry = yield from self._peek(key)
+        if entry is None or lock_ref > entry.lock_ref:
+            # Not first yet, or the local lock-store replica lags: retry.
+            self._record("acquireLock.peek", started)
+            return False
+        if lock_ref < entry.lock_ref:
+            self._record("acquireLock.peek", started)
+            raise NotLockHolder(f"lockRef {lock_ref} on {key!r} was forcibly released")
+
+        grant_started = self.sim.now
+        flag_rows = yield from self.coordinator.get(
+            self.data_table, key, clustering=SYNCH_ROW, consistency=Consistency.QUORUM
+        )
+        flag = False
+        if SYNCH_ROW in flag_rows:
+            flag = bool(flag_rows[SYNCH_ROW].visible_values().get("flag", False))
+        if flag or self.config.always_sync:
+            yield from self._synchronize(key, lock_ref)
+
+        start_time = self.clock.now()
+        yield from self.lock_store.set_start_time(key, lock_ref, start_time)
+        self._leases[(key, lock_ref)] = start_time
+        self._record("acquireLock.grant", grant_started)
+        return True
+
+    def _synchronize(self, key: str, lock_ref: int) -> Generator[Any, Any, None]:
+        """Re-establish 'the data store is defined as the true value'.
+
+        A previous lockholder died mid-criticalPut, so the store may
+        hold the old or the new value at fewer than a quorum of
+        replicas.  A quorum read may or may not catch the in-flight
+        write; either way its result is re-written under the *new*
+        lockRef's stamp, resolving the non-determinism in the definition
+        of the true value (Section III-A) and overriding any still-
+        propagating writes from the preempted lockholder.
+        """
+        self.counters["syncs"] += 1
+        value_rows = yield from self.coordinator.get(
+            self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.QUORUM
+        )
+        current = None
+        if VALUE_ROW in value_rows:
+            current = value_rows[VALUE_ROW].visible_values().get("value")
+        yield from self.coordinator.put(
+            self.data_table, key, VALUE_ROW, {"value": current},
+            self._stamp(lock_ref, 0.0), consistency=Consistency.QUORUM,
+        )
+        yield from self.coordinator.put(
+            self.data_table, key, SYNCH_ROW, {"flag": False},
+            self._stamp(lock_ref, _TICK), consistency=Consistency.QUORUM,
+        )
+
+    # -- criticalPut (cost: value quorum write) ----------------------------------
+
+    def critical_put(self, key: str, lock_ref: int, value: Any) -> Generator[Any, Any, bool]:
+        """Write the latest value of ``key`` as the current lockholder."""
+        started = self.sim.now
+        proceed = yield from self._guard(key, lock_ref)
+        if not proceed:
+            return False
+        offset = yield from self._lease_offset(key, lock_ref)
+        yield from self.coordinator.put(
+            self.data_table, key, VALUE_ROW, {"value": value},
+            self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
+        )
+        self._record("criticalPut", started)
+        return True
+
+    def critical_delete(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        """Delete the value of ``key`` as the lockholder (Section VI's
+        criticalPut-companion delete; same guards and stamping)."""
+        started = self.sim.now
+        proceed = yield from self._guard(key, lock_ref)
+        if not proceed:
+            return False
+        offset = yield from self._lease_offset(key, lock_ref)
+        yield from self.coordinator.put(
+            self.data_table, key, VALUE_ROW, {"value": None},
+            self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
+        )
+        self._record("criticalDelete", started)
+        return True
+
+    # -- criticalGet (cost: value quorum read) -----------------------------------
+
+    def critical_get(self, key: str, lock_ref: int) -> Generator[Any, Any, Tuple[bool, Any]]:
+        """Read the latest (true) value of ``key`` as the lockholder.
+
+        Returns ``(True, value)`` on success, ``(False, None)`` when the
+        caller should retry (local queue not caught up yet).
+        """
+        started = self.sim.now
+        proceed = yield from self._guard(key, lock_ref)
+        if not proceed:
+            return (False, None)
+        rows = yield from self.coordinator.get(
+            self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.QUORUM
+        )
+        value = None
+        if VALUE_ROW in rows:
+            value = rows[VALUE_ROW].visible_values().get("value")
+        self._record("criticalGet", started)
+        return (True, value)
+
+    def _peek(self, key: str) -> Generator[Any, Any, Any]:
+        """lsPeek — local by default; quorum under the ablation knob."""
+        if self.config.peek_quorum:
+            entry = yield from self.lock_store.peek_quorum(key)
+        else:
+            entry = yield from self.lock_store.peek(key)
+        return entry
+
+    def _guard(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        """The shared lockRef-vs-queue-head guard of the critical ops."""
+        entry = yield from self._peek(key)
+        if entry is None or lock_ref > entry.lock_ref:
+            return False
+        if lock_ref < entry.lock_ref:
+            raise NotLockHolder(f"lockRef {lock_ref} on {key!r} was forcibly released")
+        return True
+
+    def _lease_offset(self, key: str, lock_ref: int) -> Generator[Any, Any, float]:
+        """Time since this lockRef's grant; raises once the lease T expires."""
+        start_time = self._leases.get((key, lock_ref))
+        if start_time is None:
+            entry = yield from self.lock_store.get_entry(key, lock_ref)
+            if entry is None or entry.start_time is None:
+                entry = yield from self.lock_store.get_entry(
+                    key, lock_ref, consistency=Consistency.QUORUM
+                )
+            if entry is not None and entry.start_time is not None:
+                start_time = entry.start_time
+            else:
+                # No recorded grant reachable (e.g. the startTime write
+                # lost a stamp race under heavy clock skew, a hazard the
+                # production system shares by mixing LWT and non-LWT
+                # writes in the lock table).  Lease enforcement is
+                # advisory: start the lease now rather than failing the
+                # lockholder; the queue-head guard still gates access.
+                start_time = self.clock.now()
+            self._leases[(key, lock_ref)] = start_time
+        offset = self.clock.now() - start_time
+        if offset >= self.config.period_ms:
+            raise LeaseExpired(
+                f"critical section for lockRef {lock_ref} on {key!r} exceeded "
+                f"T={self.config.period_ms}ms"
+            )
+        return max(offset, _TICK)
+
+    # -- releaseLock (cost: lockRef consensus write) --------------------------------
+
+    def release_lock(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        started = self.sim.now
+        entry = yield from self.lock_store.peek(key)
+        if entry is not None and lock_ref < entry.lock_ref:
+            return True  # lock was already forcibly released
+        yield from self.lock_store.dequeue(key, lock_ref)
+        self._leases.pop((key, lock_ref), None)
+        self._record("releaseLock", started)
+        return True
+
+    # -- forcedRelease (internal; cost: flag quorum write + consensus write) ---------
+
+    def forced_release(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        """Preempt a (presumed failed) lockholder.
+
+        The synchFlag is set under a ``lockRef + δ`` stamp and the
+        quorum write *completes before* the dequeue, so the next
+        lockholder's flag read is guaranteed to see it; δ < 1 ensures
+        the next lockholder's own flag reset still wins (Section IV-B).
+        """
+        entry = yield from self.lock_store.peek(key)
+        if entry is not None and lock_ref < entry.lock_ref:
+            return True  # previously released
+        self.counters["forced_releases"] += 1
+        yield from self.coordinator.put(
+            self.data_table, key, SYNCH_ROW, {"flag": True},
+            self._stamp(lock_ref + self.config.delta, 0.0),
+            consistency=Consistency.QUORUM,
+        )
+        yield from self.lock_store.dequeue(key, lock_ref)
+        return True
+
+    # -- unlocked convenience ops (Section VI, "Additional Functions") ---------------
+
+    def put(self, key: str, value: Any) -> Generator[Any, Any, None]:
+        """Eventual write with no ECF guarantees (stamped below any CS write)."""
+        now = self.clock.now()
+        if now >= self.config.period_ms:
+            raise OverflowError(
+                "unlocked put past T would break v2s ordering; raise period_ms"
+            )
+        stamp = (v2s(VectorTimestamp(UNLOCKED_LOCK_REF, now), self.config.period_ms),
+                 self.node_id)
+        yield from self.coordinator.put(
+            self.data_table, key, VALUE_ROW, {"value": value}, stamp,
+            consistency=Consistency.ONE,
+        )
+
+    def get(self, key: str) -> Generator[Any, Any, Any]:
+        """Eventual read (possibly stale) with no ECF guarantees."""
+        rows = yield from self.coordinator.get(
+            self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.ONE
+        )
+        if VALUE_ROW not in rows:
+            return None
+        return rows[VALUE_ROW].visible_values().get("value")
+
+    def get_all_keys(self, table: Optional[str] = None) -> Generator[Any, Any, list]:
+        """All keys of the data table (eventual; used by job schedulers)."""
+        keys = yield from self.coordinator.scan_keys(table or self.data_table)
+        return keys

@@ -1,0 +1,64 @@
+"""Vector timestamps and the v2s scalar mapping (Sections III-B, VI, X-A).
+
+MUSIC orders data-store writes by a *vector timestamp* ``(lockRef,
+time)`` where the lockRef is more significant.  Cassandra orders cells
+by a scalar, so Section VI maps vectors to scalars::
+
+    v2s(lockRef, time) = lockRef * T + (time - startTime)
+
+with ``T`` the maximum critical-section duration.  Appendix X-A2 proves
+the mapping preserves vector order (because the relative time component
+is always < T), and X-A3 shows the 64-bit overflow bound
+``lockRef * T <= 2**63`` — the reason lock references are small counter
+values rather than 128-bit UUIDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VectorTimestamp", "v2s", "check_overflow", "MAX_SCALAR"]
+
+# Cassandra timestamps are signed 64-bit integers.
+MAX_SCALAR = 2**63
+
+# LockRef value used for unlocked (non-ECF) writes: any critical-section
+# write (lockRef >= 1) dominates them.
+UNLOCKED_LOCK_REF = 0
+
+
+@dataclass(frozen=True, order=True)
+class VectorTimestamp:
+    """(lockRef, time) with lockRef more significant in comparisons."""
+
+    lock_ref: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.lock_ref < 0:
+            raise ValueError(f"lock references are non-negative, got {self.lock_ref}")
+
+
+def v2s(timestamp: VectorTimestamp, period: float) -> float:
+    """Map a vector timestamp to a scalar preserving order.
+
+    ``period`` is T, the maximum critical-section duration; the time
+    component must be the offset from the critical section's start and
+    must stay below T (enforced by the lease check in criticalPut).
+    """
+    if period <= 0:
+        raise ValueError(f"T must be positive, got {period}")
+    if not 0 <= timestamp.time < period:
+        raise ValueError(
+            f"time component {timestamp.time} outside [0, T={period}); "
+            "critical sections are bounded by T"
+        )
+    return timestamp.lock_ref * period + timestamp.time
+
+
+def check_overflow(lock_ref: int, period: float) -> None:
+    """Raise if ``lock_ref * T`` would overflow a 64-bit scalar (X-A3)."""
+    if (lock_ref + 1) * period > MAX_SCALAR:
+        raise OverflowError(
+            f"lockRef {lock_ref} with T={period} exceeds the 63-bit scalar bound"
+        )

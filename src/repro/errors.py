@@ -1,0 +1,62 @@
+"""Exception types shared across the library.
+
+The paper's failure semantics (Section III-A) distinguish three client
+outcomes for an operation: success, a retryable nack (quorum not
+reachable; the client retries, usually at a different MUSIC replica),
+and the terminal "you are no longer the lockholder" notification.  Those
+outcomes map onto :class:`QuorumUnavailable` and :class:`NotLockHolder`;
+transport-level silence maps onto :class:`RpcTimeout`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RpcTimeout",
+    "QuorumUnavailable",
+    "NotLockHolder",
+    "LockContention",
+    "LeaseExpired",
+    "TransactionAborted",
+    "NoLeader",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class RpcTimeout(ReproError):
+    """No response arrived within the deadline (lost message or dead peer)."""
+
+
+class QuorumUnavailable(ReproError):
+    """A back-end operation could not reach a quorum of replicas.
+
+    This is the "nack" of Section III-A: the client must retry until the
+    operation succeeds, it fails, or it is told it lost the lock.
+    """
+
+
+class NotLockHolder(ReproError):
+    """The caller's lockRef no longer holds the lock (forcibly released).
+
+    Corresponds to the ``youAreNoLongerLockHolder`` return in the paper's
+    pseudo-code.
+    """
+
+
+class LockContention(ReproError):
+    """A compare-and-set or lock acquisition lost a race and may be retried."""
+
+
+class LeaseExpired(ReproError):
+    """A critical operation arrived after the lockholder's lease time T."""
+
+
+class TransactionAborted(ReproError):
+    """A baseline database transaction aborted (conflict or lost lease)."""
+
+
+class NoLeader(ReproError):
+    """A leader-based protocol has no functioning leader right now."""

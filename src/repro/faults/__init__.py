@@ -1,0 +1,5 @@
+"""Scripted fault injection for experiments and tests."""
+
+from .schedule import FaultSchedule, flaky_link_profile
+
+__all__ = ["FaultSchedule", "flaky_link_profile"]

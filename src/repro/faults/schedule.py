@@ -1,0 +1,127 @@
+"""Declarative fault schedules over a simulated deployment.
+
+The paper's system model (Section III) assumes crash failures, lost and
+re-ordered messages, and network partitions with imperfect detection.
+``FaultSchedule`` scripts those against a running simulation::
+
+    faults = (FaultSchedule(music.sim, music.network)
+              .partition_at(2_000.0, "Ohio")                # isolate a site
+              .heal_at(9_000.0)
+              .crash_at(4_000.0, "store-1-0")               # kill a node
+              .recover_at(12_000.0, "store-1-0")
+              .partition_pair_at(15_000.0, "Ohio", "Oregon")
+              .heal_pair_at(18_000.0, "Ohio", "Oregon"))
+    faults.arm()
+    music.sim.run(until=30_000.0)
+    print(faults.log)
+
+Each entry fires at an absolute simulated time; ``log`` records what
+actually fired, for assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from ..net import Network
+from ..sim import Simulator
+
+__all__ = ["FaultSchedule", "flaky_link_profile"]
+
+
+@dataclass
+class FaultSchedule:
+    """A list of timed fault actions against one network."""
+
+    sim: Simulator
+    network: Network
+    actions: List[Tuple[float, str, Callable[[], None]]] = field(default_factory=list)
+    log: List[Tuple[float, str]] = field(default_factory=list)
+    _armed: bool = False
+
+    def _add(self, when: float, label: str, action: Callable[[], None]) -> "FaultSchedule":
+        if self._armed:
+            raise RuntimeError("schedule already armed; build it first, then arm()")
+        self.actions.append((when, label, action))
+        return self
+
+    # -- site partitions -----------------------------------------------------
+
+    def partition_at(self, when: float, site: str) -> "FaultSchedule":
+        """Isolate a whole site from every other site."""
+        return self._add(when, f"isolate {site}", lambda: self.network.isolate_site(site))
+
+    def partition_pair_at(self, when: float, site_a: str, site_b: str) -> "FaultSchedule":
+        return self._add(
+            when, f"partition {site_a}<->{site_b}",
+            lambda: self.network.partition_sites(site_a, site_b),
+        )
+
+    def heal_at(self, when: float) -> "FaultSchedule":
+        """Heal every partition."""
+        return self._add(when, "heal all", self.network.heal_all)
+
+    def heal_pair_at(self, when: float, site_a: str, site_b: str) -> "FaultSchedule":
+        return self._add(
+            when, f"heal {site_a}<->{site_b}",
+            lambda: self.network.heal_sites(site_a, site_b),
+        )
+
+    # -- node crashes ------------------------------------------------------------
+
+    def crash_at(self, when: float, node_id: str) -> "FaultSchedule":
+        return self._add(when, f"crash {node_id}",
+                         lambda: self.network.fail_node(node_id))
+
+    def recover_at(self, when: float, node_id: str) -> "FaultSchedule":
+        return self._add(when, f"recover {node_id}",
+                         lambda: self.network.recover_node(node_id))
+
+    # -- message loss ---------------------------------------------------------------
+
+    def set_loss_at(self, when: float, probability: float) -> "FaultSchedule":
+        def apply() -> None:
+            self.network.loss_probability = probability
+
+        return self._add(when, f"loss={probability}", apply)
+
+    # -- execution ---------------------------------------------------------------
+
+    def arm(self) -> "FaultSchedule":
+        """Register every action with the simulator."""
+        self._armed = True
+        for when, label, action in self.actions:
+            self.sim.call_at(when, self._firer(when, label, action))
+        return self
+
+    def _firer(self, when: float, label: str, action: Callable[[], None]):
+        def fire() -> None:
+            action()
+            self.log.append((self.sim.now, label))
+
+        return fire
+
+
+def flaky_link_profile(
+    schedule: FaultSchedule,
+    site_a: str,
+    site_b: str,
+    start: float,
+    end: float,
+    period: float,
+    duty: float = 0.5,
+) -> FaultSchedule:
+    """A link that flaps: partitioned for ``duty`` of every ``period``.
+
+    Models the repeated short partitions of real WANs (the paper's
+    citation [2]/[3] territory) that make failure detectors fire falsely.
+    """
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty must be in (0, 1)")
+    when = start
+    while when < end:
+        schedule.partition_pair_at(when, site_a, site_b)
+        schedule.heal_pair_at(min(when + period * duty, end), site_a, site_b)
+        when += period
+    return schedule

@@ -1,0 +1,5 @@
+"""Lock store: per-key lockRef queues over the replicated store."""
+
+from .lockstore import LOCK_TABLE, LockEntry, LockStore
+
+__all__ = ["LOCK_TABLE", "LockEntry", "LockStore"]

@@ -1,0 +1,208 @@
+"""The lock store of Section III-B / VI, realized over store LWTs.
+
+Each key has a lock-table partition shaped like Fig. 2:
+
+- a ``guard`` row holding a 64-bit counter whose value is constant
+  across the rows of a key (the trick that yields per-key unique,
+  increasing lock references with *one* consensus operation instead of
+  a time-based UUID, avoiding the overflow problem of Appendix X-A3);
+- one row per outstanding lockRef (clustering key = the integer
+  lockRef), carrying ``enqueued_at`` and, once granted, ``startTime``.
+
+Operations map to the paper's primitives:
+
+- ``generate_and_enqueue``  = lsGenerateAndEnqueue: one LWT batch that
+  increments the guard and inserts the queue row atomically;
+- ``peek``                  = lsPeek: an eventual read of the *local*
+  replica (cheap; may briefly lag the consensus order);
+- ``dequeue``               = lsDequeue: an LWT row delete (no-op if
+  the lockRef is no longer queued);
+- ``set_start_time``        — records the lease start when a lock is
+  granted, used for the T-bound on critical sections (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..errors import LockContention
+from ..sim import NodeClock
+from ..store import Condition, Consistency, StoreCoordinator
+from ..store.types import DeleteRow, Update
+
+__all__ = ["LOCK_TABLE", "LockEntry", "LockStore"]
+
+LOCK_TABLE = "music_locks"
+GUARD_ROW = "guard"
+
+
+@dataclass
+class LockEntry:
+    """One queued lockRef as seen by a peek."""
+
+    lock_ref: int
+    enqueued_at: Optional[float]
+    start_time: Optional[float]
+
+
+class LockStore:
+    """Lock-queue operations bound to one coordinator (one MUSIC replica)."""
+
+    def __init__(
+        self,
+        coordinator: StoreCoordinator,
+        clock: NodeClock,
+        max_enqueue_attempts: int = 20,
+    ) -> None:
+        self.coordinator = coordinator
+        self.clock = clock
+        self.max_enqueue_attempts = max_enqueue_attempts
+        self._writer = coordinator.node.node_id
+
+    def _stamp(self) -> Tuple[float, str]:
+        """A lock-table stamp in the same units as CAS ballot stamps
+        (microseconds), so non-LWT cell writes (startTime) normally
+        dominate the LWT row insert they follow."""
+        return (self.clock.now() * 1000.0, self._writer)
+
+    # -- lsGenerateAndEnqueue ---------------------------------------------------
+
+    def generate_and_enqueue(self, key: str) -> Generator[Any, Any, int]:
+        """Atomically mint the next lockRef for ``key`` and enqueue it.
+
+        Implemented as the paper's guarded LWT batch: read the guard with
+        an eventual read, then conditionally increment it and insert the
+        queue row in one light-weight transaction, retrying the whole
+        sequence if another client won the race.
+        """
+        for _attempt in range(self.max_enqueue_attempts):
+            rows = yield from self.coordinator.get(
+                LOCK_TABLE, key, clustering=GUARD_ROW, consistency=Consistency.ONE
+            )
+            guard = None
+            if GUARD_ROW in rows:
+                guard = rows[GUARD_ROW].visible_values().get("value")
+            lock_ref = (guard or 0) + 1
+            stamp = self._stamp()
+            result = yield from self.coordinator.cas(
+                LOCK_TABLE,
+                key,
+                Condition("col_eq", GUARD_ROW, column="value", expected=guard),
+                [
+                    Update(LOCK_TABLE, key, GUARD_ROW, {"value": lock_ref}, stamp),
+                    Update(
+                        LOCK_TABLE,
+                        key,
+                        lock_ref,
+                        {"enqueued_at": self.clock.now(), "startTime": None},
+                        stamp,
+                    ),
+                ],
+                # Lock-table stamps must follow the CAS linearization
+                # order, not coordinator clocks (which may disagree).
+                stamp_with_ballot=True,
+            )
+            if result.applied:
+                return lock_ref
+            # Someone else advanced the guard first; re-read and retry.
+        raise LockContention(
+            f"could not enqueue a lockRef for {key!r} after "
+            f"{self.max_enqueue_attempts} attempts"
+        )
+
+    # -- lsPeek -----------------------------------------------------------------
+
+    def peek(self, key: str) -> Generator[Any, Any, Optional[LockEntry]]:
+        """The first lockRef in the *local* replica's queue, if any.
+
+        This is the cheap polling primitive of acquireLock: it never
+        crosses the WAN, so it may lag behind the consensus order — the
+        callers treat a stale answer as "retry later", which is safe.
+        """
+        rows = yield from self._read_queue(key, Consistency.LOCAL_ONE)
+        return self._first(rows)
+
+    def peek_quorum(self, key: str) -> Generator[Any, Any, Optional[LockEntry]]:
+        """A quorum peek (used by failure detection to avoid acting on
+        an arbitrarily stale local view)."""
+        rows = yield from self._read_queue(key, Consistency.QUORUM)
+        return self._first(rows)
+
+    def queue(self, key: str) -> Generator[Any, Any, list]:
+        """The whole local queue in lockRef order (diagnostics/tests)."""
+        rows = yield from self._read_queue(key, Consistency.LOCAL_ONE)
+        return [self._entry(ref, rows[ref]) for ref in sorted(rows)]
+
+    def _read_queue(self, key: str, consistency: str) -> Generator[Any, Any, Dict]:
+        rows = yield from self.coordinator.get(LOCK_TABLE, key, consistency=consistency)
+        return {
+            clustering: row
+            for clustering, row in rows.items()
+            if isinstance(clustering, int)
+        }
+
+    @staticmethod
+    def _entry(lock_ref: int, row) -> LockEntry:
+        values = row.visible_values()
+        return LockEntry(
+            lock_ref=lock_ref,
+            enqueued_at=values.get("enqueued_at"),
+            start_time=values.get("startTime"),
+        )
+
+    def _first(self, rows: Dict) -> Optional[LockEntry]:
+        if not rows:
+            return None
+        first_ref = min(rows)
+        return self._entry(first_ref, rows[first_ref])
+
+    # -- lsDequeue ----------------------------------------------------------------
+
+    def dequeue(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        """Remove ``lock_ref`` from the queue via an LWT delete.
+
+        Returns True whether the row was removed now or already gone
+        (the paper's "no-op if lockRef not in queue").
+        """
+        result = yield from self.coordinator.cas(
+            LOCK_TABLE,
+            key,
+            Condition("exists", clustering=lock_ref),
+            [DeleteRow(LOCK_TABLE, key, lock_ref, self._stamp())],
+            stamp_with_ballot=True,  # the tombstone must beat the insert
+        )
+        # result.applied False means the row was already gone: still a
+        # success (the paper's "no-op if lockRef not in queue").
+        return True
+
+    # -- lease bookkeeping -----------------------------------------------------------
+
+    def set_start_time(self, key: str, lock_ref: int, start_time: float) -> Generator[Any, Any, None]:
+        """Record the lease start for a granted lockRef.
+
+        An eventual write: the value still reaches every replica, but the
+        grant does not wait for the WAN (the paper's measured grant cost
+        is only the synchFlag quorum read, Fig. 5b).  Lease enforcement
+        tolerates a briefly-missing startTime — the detector falls back
+        to the orphan timeout and criticalPut re-reads at quorum.
+        """
+        yield from self.coordinator.put(
+            LOCK_TABLE,
+            key,
+            lock_ref,
+            {"startTime": start_time},
+            self._stamp(),
+            consistency=Consistency.ONE,
+        )
+
+    def get_entry(
+        self, key: str, lock_ref: int, consistency: str = Consistency.LOCAL_ONE
+    ) -> Generator[Any, Any, Optional[LockEntry]]:
+        """Read one queue row (e.g. to recover a startTime not yet local)."""
+        rows = yield from self.coordinator.get(
+            LOCK_TABLE, key, clustering=lock_ref, consistency=consistency
+        )
+        if lock_ref not in rows:
+            return None
+        return self._entry(lock_ref, rows[lock_ref])

@@ -1,0 +1,217 @@
+"""The simulated WAN.
+
+Models the mechanisms that drive the paper's performance results:
+
+- **Propagation delay**: one-way latency = RTT/2 from the active
+  :class:`~repro.net.topology.LatencyProfile` (Table II), plus optional
+  jitter.
+- **Transmission delay and NIC serialization**: each node has an egress
+  link of finite bandwidth; messages queue FIFO behind each other.  This
+  is the leader-bottleneck queueing effect the paper credits for MUSIC
+  overtaking Zookeeper at large batch/data sizes (Section VIII-c).
+- **Loss, partitions and node failure**: messages can be dropped with a
+  configured probability, between partitioned node groups, or to/from
+  failed nodes.  Dropped messages are simply never delivered — senders
+  observe this as an RPC timeout, matching the crash/partition model of
+  Section III.
+
+The egress link is modelled analytically (a ``next_free`` horizon per
+NIC) rather than with a process per message, keeping per-message cost
+low enough for throughput experiments with hundreds of thousands of
+messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set
+
+from ..sim import Mailbox, RandomStreams, Simulator
+from .topology import LatencyProfile
+
+__all__ = ["Message", "NetworkStats", "Network", "DEFAULT_BANDWIDTH_BYTES_PER_MS"]
+
+# 10 Gbps in bytes per millisecond.  The paper's testbed emulates WAN
+# *latency* with NetEm but keeps datacenter-grade link speed; bandwidth
+# only matters for the large-value experiments (Fig. 6b).
+DEFAULT_BANDWIDTH_BYTES_PER_MS = 1_250_000.0
+
+# Fixed per-message overhead (headers, framing) in bytes.
+MESSAGE_OVERHEAD_BYTES = 256
+
+
+@dataclass(slots=True)
+class Message:
+    """A message in flight between two registered nodes."""
+
+    src: str
+    dst: str
+    kind: str
+    body: Any
+    size_bytes: int
+    sent_at: float
+    message_id: int
+
+
+@dataclass
+class NetworkStats:
+    """Counters for delivered/dropped traffic (inspection and tests)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_failed: int = 0
+    bytes_sent: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class _Endpoint:
+    """Internal record for one registered node."""
+
+    __slots__ = ("node_id", "site", "inbox", "egress_free_at", "failed")
+
+    def __init__(self, node_id: str, site: str, inbox: Mailbox) -> None:
+        self.node_id = node_id
+        self.site = site
+        self.inbox = inbox
+        self.egress_free_at = 0.0
+        self.failed = False
+
+
+class Network:
+    """Message transport between registered nodes over a latency profile."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: LatencyProfile,
+        streams: Optional[RandomStreams] = None,
+        bandwidth_bytes_per_ms: float = DEFAULT_BANDWIDTH_BYTES_PER_MS,
+        loss_probability: float = 0.0,
+        jitter_fraction: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.streams = streams or RandomStreams(0)
+        self.bandwidth = bandwidth_bytes_per_ms
+        self.loss_probability = loss_probability
+        self.jitter_fraction = jitter_fraction
+        self.stats = NetworkStats()
+        self._rng = self.streams.stream("network")
+        self._endpoints: Dict[str, _Endpoint] = {}
+        self._partitions: Set[frozenset] = set()
+        self._message_ids = itertools.count()
+        self._taps: list[Callable[[Message], None]] = []
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, node_id: str, site: str, inbox: Mailbox) -> None:
+        if node_id in self._endpoints:
+            raise ValueError(f"node id {node_id!r} already registered")
+        if site not in self.profile.site_names:
+            raise ValueError(f"site {site!r} not in profile {self.profile.name!r}")
+        self._endpoints[node_id] = _Endpoint(node_id, site, inbox)
+
+    def site_of(self, node_id: str) -> str:
+        return self._endpoints[node_id].site
+
+    def node_ids(self) -> list[str]:
+        return list(self._endpoints)
+
+    # -- failures and partitions ----------------------------------------------
+
+    def fail_node(self, node_id: str) -> None:
+        """Crash-stop: the node no longer sends or receives anything."""
+        self._endpoints[node_id].failed = True
+
+    def recover_node(self, node_id: str) -> None:
+        self._endpoints[node_id].failed = False
+
+    def is_failed(self, node_id: str) -> bool:
+        return self._endpoints[node_id].failed
+
+    def partition_sites(self, site_a: str, site_b: str) -> None:
+        """Drop all traffic between two sites (both directions)."""
+        self._partitions.add(frozenset((site_a, site_b)))
+
+    def heal_sites(self, site_a: str, site_b: str) -> None:
+        self._partitions.discard(frozenset((site_a, site_b)))
+
+    def isolate_site(self, site: str) -> None:
+        """Partition one site away from every other site."""
+        for other in self.profile.site_names:
+            if other != site:
+                self.partition_sites(site, other)
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def partitioned(self, site_a: str, site_b: str) -> bool:
+        return frozenset((site_a, site_b)) in self._partitions
+
+    # -- observation ----------------------------------------------------------
+
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Invoke ``tap(message)`` for every message accepted for sending."""
+        self._taps.append(tap)
+
+    # -- transport --------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, body: Any, size_bytes: int = 64) -> None:
+        """Fire-and-forget send; delivery (if any) is asynchronous.
+
+        The caller never learns whether the message was dropped — exactly
+        the fair-loss link the paper's system model assumes.
+        """
+        source = self._endpoints[src]
+        target = self._endpoints[dst]
+        message = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            body=body,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+            message_id=next(self._message_ids),
+        )
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
+        for tap in self._taps:
+            tap(message)
+
+        if source.failed:
+            self.stats.dropped_failed += 1
+            return
+
+        # Egress serialization: the sender's NIC transmits one message at
+        # a time; later messages queue behind earlier ones.
+        tx_time = (size_bytes + MESSAGE_OVERHEAD_BYTES) / self.bandwidth
+        start = max(self.sim.now, source.egress_free_at)
+        source.egress_free_at = start + tx_time
+        departure = start + tx_time
+
+        latency = self.profile.one_way(source.site, target.site)
+        if self.jitter_fraction > 0.0:
+            latency *= 1.0 + self._rng.uniform(0.0, self.jitter_fraction)
+        arrival = departure + latency
+
+        self.sim.call_at(arrival, lambda: self._deliver(message, source, target))
+
+    def _deliver(self, message: Message, source: _Endpoint, target: _Endpoint) -> None:
+        # Partition/failure state is evaluated at arrival time, so a
+        # partition healed mid-flight lets late packets through — the
+        # delayed-packet behaviour false failure detection stems from.
+        if target.failed or source.failed:
+            self.stats.dropped_failed += 1
+            return
+        if self.partitioned(source.site, target.site):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
+            self.stats.dropped_loss += 1
+            return
+        self.stats.delivered += 1
+        target.inbox.put(message)

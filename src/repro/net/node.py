@@ -1,0 +1,194 @@
+"""Node base class: inbox dispatch, request/reply RPC, CPU modelling.
+
+Every protocol participant (store replica, MUSIC replica, Zookeeper
+server, Raft peer, client host) subclasses :class:`Node`.  A node owns a
+mailbox registered with the :class:`~repro.net.network.Network`, a serve
+loop that dispatches incoming messages to registered handlers, a local
+clock, and a CPU resource with a configurable core count (the paper's
+testbed machines have eight 2.5 GHz cores; CPU contention is what caps
+CassaEV-style local operations at finite throughput).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..errors import RpcTimeout
+from ..sim import Mailbox, NodeClock, Process, Resource, Simulator
+from .network import Message, Network
+
+__all__ = ["Node", "DEFAULT_RPC_TIMEOUT_MS"]
+
+DEFAULT_RPC_TIMEOUT_MS = 4_000.0
+
+_REPLY_KIND = "__reply__"
+
+Handler = Callable[[Message], Optional[Generator[Any, Any, None]]]
+
+
+class Node:
+    """A simulated host participating in the protocols."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        site: str,
+        cores: int = 8,
+        clock: Optional[NodeClock] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.site = site
+        self.inbox = Mailbox(sim, name=f"inbox:{node_id}")
+        self.cpu = Resource(sim, capacity=cores, name=f"cpu:{node_id}")
+        self.clock = clock or NodeClock(sim)
+        self.network.register(node_id, site, self.inbox)
+        self._handlers: Dict[str, Handler] = {}
+        self._pending_replies: Dict[int, Any] = {}
+        self._request_ids = itertools.count()
+        self._serve_process: Optional[Process] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin dispatching incoming messages."""
+        if self._serve_process is not None:
+            return
+        self._serve_process = self.sim.process(self._serve(), name=f"serve:{self.node_id}")
+
+    def crash(self) -> None:
+        """Crash-stop this node: traffic is dropped, state is frozen."""
+        self.network.fail_node(self.node_id)
+
+    def recover(self) -> None:
+        """Rejoin the network with whatever state survived the crash."""
+        self.network.recover_node(self.node_id)
+
+    @property
+    def failed(self) -> bool:
+        return self.network.is_failed(self.node_id)
+
+    # -- handler registration ------------------------------------------------
+
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register ``handler`` for messages of ``kind``.
+
+        A handler may be a plain function (runs instantly) or a generator
+        function result; generators are spawned as independent processes
+        so slow requests do not block the serve loop.
+        """
+        if kind == _REPLY_KIND:
+            raise ValueError("cannot register a handler for the reply kind")
+        self._handlers[kind] = handler
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(self, dst: str, kind: str, body: Any, size_bytes: int = 64) -> None:
+        """One-way message (no reply expected)."""
+        self.network.send(self.node_id, dst, kind, body, size_bytes)
+
+    def call_async(
+        self,
+        dst: str,
+        kind: str,
+        body: Any,
+        size_bytes: int = 64,
+        timeout: float = DEFAULT_RPC_TIMEOUT_MS,
+    ) -> Any:
+        """Fire an RPC; returns the reply Event (fails with RpcTimeout)."""
+        request_id = next(self._request_ids)
+        reply_event = self.sim.event(name=f"rpc:{kind}:{request_id}")
+        self._pending_replies[request_id] = reply_event
+        envelope = {"request_id": request_id, "reply_to": self.node_id, "payload": body}
+        self.network.send(self.node_id, dst, kind, envelope, size_bytes)
+
+        def expire() -> None:
+            if not reply_event.triggered:
+                self._pending_replies.pop(request_id, None)
+                reply_event.fail(RpcTimeout(f"{kind} to {dst} after {timeout}ms"))
+
+        self.sim.call_at(self.sim.now + timeout, expire)
+        return reply_event
+
+    def call(
+        self,
+        dst: str,
+        kind: str,
+        body: Any,
+        size_bytes: int = 64,
+        timeout: float = DEFAULT_RPC_TIMEOUT_MS,
+    ) -> Generator[Any, Any, Any]:
+        """Request/reply RPC; yields until the reply or raises RpcTimeout.
+
+        Use as ``reply = yield from node.call(...)`` inside a process.
+        """
+        reply = yield self.call_async(dst, kind, body, size_bytes, timeout)
+        return reply
+
+    def reply(self, request: Message, body: Any, size_bytes: int = 64) -> None:
+        """Answer an RPC request received via :meth:`call` on the peer."""
+        envelope = request.body
+        self.network.send(
+            self.node_id,
+            envelope["reply_to"],
+            _REPLY_KIND,
+            {"request_id": envelope["request_id"], "payload": body},
+            size_bytes,
+        )
+
+    @staticmethod
+    def payload(request: Message) -> Any:
+        """The caller-supplied body of an RPC request message."""
+        return request.body["payload"]
+
+    # -- compute ------------------------------------------------------------
+
+    def compute(self, service_time_ms: float) -> Generator[Any, Any, None]:
+        """Occupy one CPU core for ``service_time_ms`` (queueing if busy)."""
+        yield from self.cpu.use(service_time_ms)
+
+    # -- internals -----------------------------------------------------------
+
+    def _serve(self) -> Generator[Any, Any, None]:
+        while True:
+            message: Message = yield self.inbox.get()
+            if message.kind == _REPLY_KIND:
+                self._complete_reply(message)
+                continue
+            handler = self._handlers.get(message.kind)
+            if handler is None:
+                raise LookupError(f"{self.node_id}: no handler for {message.kind!r}")
+            result = handler(message)
+            if result is not None and hasattr(result, "send"):
+                self.sim.process(result, name=f"{self.node_id}:{message.kind}")
+
+    def _complete_reply(self, message: Message) -> None:
+        request_id = message.body["request_id"]
+        event = self._pending_replies.pop(request_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(message.body["payload"])
+
+    # -- broadcast helper ------------------------------------------------------
+
+    def call_many(
+        self,
+        destinations: list[str],
+        kind: str,
+        body: Any,
+        size_bytes: int = 64,
+        timeout: float = DEFAULT_RPC_TIMEOUT_MS,
+    ) -> list[Tuple[str, Any]]:
+        """Start one RPC per destination; returns [(dst, Event)] handles.
+
+        Each handle triggers with the reply, or fails with
+        :class:`RpcTimeout`.  Callers combine them with quorum logic
+        (see :mod:`repro.store.coordinator`).
+        """
+        return [
+            (dst, self.call_async(dst, kind, body, size_bytes=size_bytes, timeout=timeout))
+            for dst in destinations
+        ]

@@ -1,0 +1,71 @@
+"""Quorum-waiting over a set of in-flight RPCs.
+
+Both the data-store coordinator (quorum reads/writes) and the consensus
+implementations (Paxos/Zab/Raft majorities) need the same shape: fire N
+requests, succeed as soon as K replies arrive, fail as soon as more than
+N-K have failed.  This returns early on success — a write to a quorum
+does *not* wait for the slowest replica, which is precisely why a quorum
+operation costs ~1 RTT to the nearest majority in the latency figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Tuple
+
+from ..errors import QuorumUnavailable
+from ..sim import Event, Process, Simulator
+
+__all__ = ["await_quorum", "quorum_size"]
+
+
+def quorum_size(replica_count: int) -> int:
+    """Majority quorum: more than half of the replicas."""
+    return replica_count // 2 + 1
+
+
+def await_quorum(
+    sim: Simulator,
+    handles: List[Tuple[str, Event]],
+    needed: int,
+) -> Generator[Any, Any, List[Tuple[str, Any]]]:
+    """Wait for ``needed`` successful replies out of ``handles``.
+
+    Returns the list of ``(destination, reply)`` pairs that formed the
+    quorum, in completion order.  Raises :class:`QuorumUnavailable` once
+    a quorum can no longer be formed.  Stragglers are left running; their
+    eventual completion is harmless (and mirrors replicas applying a
+    write after the coordinator has already acknowledged it).
+    """
+    total = len(handles)
+    if needed > total:
+        raise QuorumUnavailable(f"need {needed} replies but only {total} requests sent")
+
+    outcome: Event = sim.event(name=f"quorum:{needed}/{total}")
+    successes: List[Tuple[str, Any]] = []
+    failures: List[Tuple[str, BaseException]] = []
+
+    def make_collector(dst: str):
+        def collect(event: Event) -> None:
+            if outcome.triggered:
+                return
+            if event.ok:
+                successes.append((dst, event.value))
+                if len(successes) >= needed:
+                    outcome.succeed(list(successes))
+            else:
+                failures.append((dst, event._value))
+                if total - len(failures) < needed:
+                    outcome.fail(
+                        QuorumUnavailable(
+                            f"only {total - len(failures)} of {total} replicas "
+                            f"reachable, needed {needed}"
+                        )
+                    )
+
+        return collect
+
+    for dst, process in handles:
+        process.add_callback(make_collector(dst))
+
+    result = yield outcome
+    return result

@@ -1,0 +1,116 @@
+"""Sites and WAN latency profiles.
+
+The paper partitions servers into three logical sites and emulates WAN
+latencies between them with NetEm, using the RTT profiles of Table II
+(measured between AWS regions).  This module carries the same profiles;
+``LatencyProfile`` is the substitution for NetEm.
+
+RTTs are symmetric and given in milliseconds, presented (as in the
+paper) in the order site1-site2, site1-site3, site2-site3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+__all__ = [
+    "Site",
+    "LatencyProfile",
+    "PROFILE_L1",
+    "PROFILE_LUS",
+    "PROFILE_LUSEU",
+    "PAPER_PROFILES",
+    "LOCAL_RTT_MS",
+]
+
+# RTT between two nodes in the same site (intra-datacenter).
+LOCAL_RTT_MS = 0.2
+
+
+@dataclass(frozen=True)
+class Site:
+    """A datacenter at a physical location."""
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class LatencyProfile:
+    """Symmetric RTTs (ms) between named sites.
+
+    ``rtts`` maps unordered site-name pairs to round-trip times.  A pair
+    of distinct sites missing from the map is an error; the intra-site
+    RTT defaults to :data:`LOCAL_RTT_MS`.
+    """
+
+    name: str
+    site_names: Tuple[str, ...]
+    rtts: Dict[frozenset, float] = field(default_factory=dict)
+    local_rtt: float = LOCAL_RTT_MS
+
+    @classmethod
+    def from_triplet(
+        cls,
+        name: str,
+        site_names: Iterable[str],
+        rtt_12: float,
+        rtt_13: float,
+        rtt_23: float,
+    ) -> "LatencyProfile":
+        """Build a 3-site profile from Table II's (s1-s2, s1-s3, s2-s3) order."""
+        names = tuple(site_names)
+        if len(names) != 3:
+            raise ValueError(f"from_triplet needs exactly 3 sites, got {names}")
+        s1, s2, s3 = names
+        return cls(
+            name=name,
+            site_names=names,
+            rtts={
+                frozenset((s1, s2)): rtt_12,
+                frozenset((s1, s3)): rtt_13,
+                frozenset((s2, s3)): rtt_23,
+            },
+        )
+
+    def rtt(self, site_a: str, site_b: str) -> float:
+        """Round-trip time in ms between two sites (symmetric)."""
+        if site_a == site_b:
+            return self.local_rtt
+        key = frozenset((site_a, site_b))
+        if key not in self.rtts:
+            raise KeyError(f"profile {self.name!r} has no RTT for {site_a}<->{site_b}")
+        return self.rtts[key]
+
+    def one_way(self, site_a: str, site_b: str) -> float:
+        """One-way latency, modelled as half the symmetric RTT."""
+        return self.rtt(site_a, site_b) / 2.0
+
+    def sites(self) -> Tuple[Site, ...]:
+        return tuple(Site(name, index) for index, name in enumerate(self.site_names))
+
+    def sorted_by_proximity(self, origin: str) -> list[str]:
+        """Site names ordered by RTT from ``origin`` (origin first)."""
+        return sorted(self.site_names, key=lambda other: self.rtt(origin, other))
+
+
+# Table II: Latency profiles used for 3-site deployments.
+PROFILE_L1 = LatencyProfile.from_triplet(
+    "l1", ("Ohio", "Ohio-2", "N.Virginia"), 0.2, 15.14, 15.14
+)
+PROFILE_LUS = LatencyProfile.from_triplet(
+    "lUs", ("Ohio", "N.California", "Oregon"), 53.79, 72.14, 24.2
+)
+PROFILE_LUSEU = LatencyProfile.from_triplet(
+    "lUsEu", ("Ohio", "N.California", "Frankfurt"), 53.79, 100.56, 150.74
+)
+
+PAPER_PROFILES = {
+    "l1": PROFILE_L1,
+    "lUs": PROFILE_LUS,
+    "lUsEu": PROFILE_LUSEU,
+}

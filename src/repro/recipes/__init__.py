@@ -1,0 +1,13 @@
+"""Recipes: atomic data structures built on MUSIC critical sections.
+
+Section II argues that critical sections are the right *general* control
+structure and that atomic data structures (à la Atomix) "can then be
+built as needed" on top.  These recipes are that exercise: each wraps a
+MUSIC key (or key set) in get-modify-put critical sections, inheriting
+ECF's exclusivity and latest-state guarantees — and therefore surviving
+lockholder failures and false failure detection without extra code.
+"""
+
+from .structures import AtomicCounter, AtomicMap, AtomicQueue, LeaderElection
+
+__all__ = ["AtomicCounter", "AtomicMap", "AtomicQueue", "LeaderElection"]

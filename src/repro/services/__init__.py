@@ -1,0 +1,24 @@
+"""The paper's production use cases (Section VII) built on MUSIC."""
+
+from .homing import (
+    ClientApi,
+    CloudSite,
+    HomingRequest,
+    HomingWorker,
+    JobState,
+    VnfSpec,
+    solve_placement,
+)
+from .portal import PortalBackend, PortalFrontend
+
+__all__ = [
+    "ClientApi",
+    "CloudSite",
+    "HomingRequest",
+    "HomingWorker",
+    "JobState",
+    "PortalBackend",
+    "PortalFrontend",
+    "VnfSpec",
+    "solve_placement",
+]

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (kernel, primitives, clocks, RNG)."""
+
+from .clock import NodeClock
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .primitives import Condition, Mailbox, Resource
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupt",
+    "Mailbox",
+    "NodeClock",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]

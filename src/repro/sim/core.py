@@ -1,0 +1,425 @@
+"""Discrete-event simulation kernel.
+
+This module is the execution substrate for the whole reproduction.  The
+paper evaluates MUSIC on a three-site hardware testbed with NetEm-emulated
+WAN latencies; we reproduce those experiments on a deterministic
+discrete-event simulator so that protocol costs (quorum round trips,
+consensus round trips, leader queueing) are modelled explicitly and every
+run is reproducible from a seed.
+
+Time is modelled in **milliseconds** (floats), matching the latency
+numbers reported in the paper (e.g. an Ohio to N. California RTT is the
+value ``53.79``).
+
+The programming model is generator-based processes, similar in spirit to
+SimPy but purpose-built and dependency-free:
+
+- A *process* is a Python generator driven by the :class:`Simulator`.
+- A process yields :class:`Event` objects (or a plain number, shorthand
+  for a timeout) and is resumed when the event triggers, receiving the
+  event's value.  A failed event raises inside the generator instead.
+- Processes are themselves events that trigger on completion, so
+  processes can wait for each other.
+
+Example::
+
+    sim = Simulator()
+
+    def pinger():
+        yield sim.timeout(5.0)
+        return "pong"
+
+    def main():
+        result = yield sim.process(pinger())
+        assert result == "pong"
+
+    sim.process(main())
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupt ``cause`` is carried as the first exception argument.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, and is later either *succeeded* with a
+    value or *failed* with an exception.  Processes that yield a pending
+    event are suspended until it triggers; yielding an already-triggered
+    event resumes the process on the next scheduler step.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_ok", "_value", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._ok = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return self._triggered and self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has not triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, raising it in waiters."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(False, exception)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when this event triggers.
+
+        If the event has already triggered, the callback runs on the next
+        scheduler step (never synchronously), preserving run-to-completion
+        semantics for the caller.
+        """
+        if self._triggered:
+            if not self._ok and self in self.sim._unhandled:
+                self.sim._unhandled.remove(self)
+            self.sim._schedule_callback(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        if not ok and not callbacks:
+            # A failure nobody is waiting on: record it so run() can
+            # re-raise instead of letting the error pass silently.
+            self.sim._unhandled.append(self)
+        for callback in callbacks:
+            self.sim._schedule_callback(callback, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._triggered:
+            state = "ok" if self._ok else "failed"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=f"Timeout({delay})")
+        self.delay = delay
+        sim._schedule_trigger(delay, self, True, value)
+
+
+class Process(Event):
+    """A running generator, driven by the simulator.
+
+    The process is also an event: it triggers when the generator returns
+    (with the return value) or raises (failing waiters with the error).
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_interrupts")
+
+    def __init__(
+        self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str = ""
+    ) -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list[Any] = []
+        # Kick the generator off on the next scheduler step.
+        sim._push(0.0, self._bootstrap)
+
+    def _bootstrap(self) -> None:
+        if not self._triggered:
+            self._step(lambda: self.generator.send(None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Interrupting a finished process is a silent no-op, mirroring the
+        common "cancel if still running" usage.
+        """
+        if self._triggered:
+            return
+        self._interrupts.append(cause)
+        self.sim._schedule_callback(self._deliver_interrupt, self)
+
+    def _deliver_interrupt(self, _event: Event) -> None:
+        if self._triggered or not self._interrupts:
+            return
+        cause = self._interrupts.pop(0)
+        # Detach from whatever we were waiting on; when the original event
+        # later triggers, _resume will see that it is no longer current.
+        self._waiting_on = None
+        self._step(lambda: self.generator.throw(Interrupt(cause)))
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event is not self._waiting_on and self._waiting_on is not None:
+            # Stale wakeup: an interrupt detached us from this event.
+            return
+        self._waiting_on = None
+        if event.ok or not event.triggered:
+            self._step(lambda: self.generator.send(event._value))
+        else:
+            self._step(lambda: self.generator.throw(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # The process let an interrupt escape: treat as normal exit.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        target = self._coerce(target)
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _coerce(self, target: Any) -> Event:
+        if isinstance(target, Event):
+            return target
+        if isinstance(target, (int, float)):
+            return Timeout(self.sim, float(target))
+        if hasattr(target, "send"):
+            return Process(self.sim, target)
+        raise SimulationError(
+            f"process {self.name!r} yielded {target!r}; expected an Event, "
+            "a delay (number), or a generator"
+        )
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered successfully.
+
+    The value is the list of child values, in the order given.  Fails
+    with the first child failure.
+    """
+
+    __slots__ = ("_pending", "_results")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="AllOf")
+        children = list(events)
+        self._results: list[Any] = [None] * len(children)
+        self._pending = len(children)
+        if not children:
+            sim._schedule_trigger(0.0, self, True, [])
+            return
+        for index, child in enumerate(children):
+            child.add_callback(self._make_collector(index))
+
+    def _make_collector(self, index: int) -> Callable[[Event], None]:
+        def collect(event: Event) -> None:
+            if self._triggered:
+                return
+            if not event.ok:
+                self.fail(event._value)
+                return
+            self._results[index] = event._value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(self._results)
+
+        return collect
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers (success or failure).
+
+    The value is a ``(index, value)`` pair for the winning child; a child
+    failure fails this event with the child's exception.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="AnyOf")
+        children = list(events)
+        if not children:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, child in enumerate(children):
+            child.add_callback(self._make_collector(index))
+
+    def _make_collector(self, index: int) -> Callable[[Event], None]:
+        def collect(event: Event) -> None:
+            if self._triggered:
+                return
+            if event.ok:
+                self.succeed((index, event._value))
+            else:
+                self.fail(event._value)
+
+        return collect
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, action) entries.
+
+    ``seq`` breaks ties FIFO so same-time events run in schedule order,
+    which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._unhandled: list[Event] = []
+
+    # -- construction helpers -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _push(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), action))
+
+    def _schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
+        self._push(0.0, lambda: callback(event))
+
+    def _schedule_trigger(self, delay: float, event: Event, ok: bool, value: Any) -> None:
+        def fire() -> None:
+            if not event._triggered:
+                event._trigger(ok, value)
+
+        self._push(delay, fire)
+
+    def call_at(self, when: float, action: Callable[[], None]) -> None:
+        """Run a plain callable at absolute simulated time ``when``."""
+        self._push(max(0.0, when - self.now), action)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute the single next scheduled action."""
+        when, _seq, action = heapq.heappop(self._heap)
+        self.now = when
+        action()
+
+    def run(self, until: Optional[float] = None, strict: bool = True) -> None:
+        """Run until the heap drains or simulated time passes ``until``.
+
+        When stopped by ``until``, ``now`` is set to ``until`` exactly so
+        measurement windows have precise lengths.  With ``strict`` (the
+        default), a process failure that no other process observed is
+        re-raised here rather than passing silently.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    break
+                self.step()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        if strict and self._unhandled:
+            failure = self._unhandled.pop(0)
+            raise failure._value
+
+    def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
+        """Run until ``process`` finishes; return its value or raise its error.
+
+        ``limit`` bounds simulated time as a hang safeguard.
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: no scheduled events but {process.name!r} is not done"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"simulated time limit {limit} exceeded")
+            self.step()
+        if process.ok:
+            return process.value
+        if process in self._unhandled:
+            self._unhandled.remove(process)
+        raise process._value

@@ -1,0 +1,155 @@
+"""Coordination primitives built on the simulation kernel.
+
+These mirror the small set of concurrency tools the protocol code needs:
+FIFO mailboxes for message delivery, counted resources for CPU cores and
+NIC serialization, and condition variables for state-change waits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Mailbox", "Resource", "Condition"]
+
+
+class Mailbox:
+    """An unbounded FIFO queue of items with event-based ``get``.
+
+    ``put`` is immediate (never blocks); ``get`` returns an event that
+    triggers with the oldest item, waking waiters in FIFO order.  This is
+    the delivery queue used for node inboxes and RPC reply slots.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Any:
+        if not self._items:
+            raise SimulationError(f"mailbox {self.name!r} is empty")
+        return self._items.popleft()
+
+    def peek_all(self) -> list[Any]:
+        """A snapshot of queued items (for assertions in tests)."""
+        return list(self._items)
+
+
+class Resource:
+    """A counted resource with FIFO granting (e.g. CPU cores, a NIC).
+
+    Usage from a process::
+
+        grant = yield resource.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(grant)
+
+    or, more conveniently, ``yield from resource.use(service_time)``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Statistics for utilisation reporting.
+        self.total_busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        event = self.sim.event(name=f"acquire:{self.name}")
+        if self._in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, _grant: Any = None) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.total_busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def use(self, hold_time: float) -> Generator[Any, Any, None]:
+        """Acquire, hold for ``hold_time``, release; use with ``yield from``."""
+        if self._in_use < self.capacity:
+            # Uncontended fast path: grant without an intermediate event.
+            if self._in_use == 0:
+                self._busy_since = self.sim.now
+            self._in_use += 1
+        else:
+            yield self.acquire()
+        try:
+            yield self.sim.timeout(hold_time)
+        finally:
+            self.release(None)
+
+    def _grant(self, event: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+        event.succeed(self)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time the resource was non-idle."""
+        busy = self.total_busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return busy / elapsed if elapsed > 0 else 0.0
+
+
+class Condition:
+    """A broadcast condition: waiters block until the next ``notify_all``."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+
+    def wait(self) -> Event:
+        event = self.sim.event(name=f"wait:{self.name}")
+        self._waiters.append(event)
+        return event
+
+    def notify_all(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(value)

@@ -1,0 +1,70 @@
+"""Store configuration: service times and protocol knobs.
+
+The CPU service times below are the calibration knobs that map simulated
+protocol work onto the paper's absolute magnitudes.  They were fitted to
+two anchors from Section VIII (3 nodes x 8 cores, lUs profile):
+
+- ``CassaEV`` (an eventually-consistent local write) peaks near 41K op/s,
+  implying roughly 0.6 core-ms of total cluster CPU per write; and
+- a full MUSIC critical section of size 1 peaks near 885 op/s, implying
+  roughly 27 core-ms per critical section, dominated by its two LWTs
+  (Cassandra LWTs persist Paxos state, hence the much higher per-phase
+  cost than a plain write).
+
+Latency behaviour (Fig. 5) is governed by message round trips, not by
+these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StoreConfig"]
+
+
+@dataclass
+class StoreConfig:
+    """Tunables for the replicated store."""
+
+    # Replication factor; by default one replica of each key per site.
+    replication_factor: int = 3
+
+    # CPU service times (milliseconds of one core).
+    coordinator_service_ms: float = 0.10  # request parsing/routing per op
+    read_service_ms: float = 0.15  # memtable read at a replica
+    write_service_ms: float = 0.15  # memtable write + commitlog append
+    paxos_phase_service_ms: float = 1.05  # per LWT phase at a replica
+    # Extra CPU per byte of value, modelling serialization/copy costs
+    # (~2 copies at roughly 2 GB/s).
+    per_byte_service_ms: float = 1.0e-6
+
+    # RPC deadline for replica requests.
+    rpc_timeout_ms: float = 4_000.0
+
+    # LWT (Paxos) contention handling.
+    cas_max_attempts: int = 20
+    cas_backoff_base_ms: float = 10.0
+    cas_backoff_jitter_ms: float = 40.0
+
+    # Anti-entropy: period between digest exchanges per replica, and the
+    # fraction-of-period jitter applied to avoid lockstep.
+    anti_entropy_interval_ms: float = 1_000.0
+    anti_entropy_enabled: bool = True
+
+    # Read repair: push the merged result of every quorum read back to
+    # the replicas that replied (async).  Off by default so message
+    # counts in the cost figures stay exactly the protocol's own.
+    read_repair_enabled: bool = False
+
+    # Hinted handoff: a coordinator that cannot reach a replica keeps the
+    # write as a hint and replays it periodically until delivered.
+    hinted_handoff_enabled: bool = True
+    hint_replay_interval_ms: float = 5_000.0
+    max_hints_per_coordinator: int = 10_000
+
+    # Virtual nodes per physical node on the hash ring.
+    ring_vnodes: int = 16
+
+    def value_service_ms(self, size_bytes: int) -> float:
+        """CPU time attributable to the payload size of one replica op."""
+        return self.per_byte_service_ms * size_bytes

@@ -1,0 +1,482 @@
+"""The coordinator side of the store: quorum reads/writes and LWTs.
+
+A :class:`StoreCoordinator` is bound to one host node (in MUSIC's
+deployment, each MUSIC replica coordinates its own back-end requests)
+and provides the operations of Section III-B:
+
+- ``put``/``get``/``delete_row`` at a chosen consistency level —
+  ``dsPutQuorum``/``dsGetQuorum`` are these at QUORUM, the lock-store
+  peek and the ``get``/``put`` convenience functions use LOCAL_ONE/ONE;
+- ``cas`` — a light-weight transaction: the 4-round-trip per-partition
+  Paxos of Cassandra (prepare, read, propose, commit), including the
+  completion of in-progress proposals left by failed coordinators.
+
+Quorum operations return as soon as the nearest majority has replied,
+which is why a quorum op costs ~1 RTT to the closest peer site while an
+LWT costs ~4 (Fig. 5b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..errors import LockContention, QuorumUnavailable, ReproError
+from ..net import Node, await_quorum, quorum_size
+from ..sim import RandomStreams
+from .config import StoreConfig
+from .ring import HashRing
+from .types import (
+    Condition,
+    Consistency,
+    DeleteRow,
+    Mutation,
+    Row,
+    Stamp,
+    Update,
+    payload_size,
+)
+
+__all__ = ["StoreCoordinator", "CasResult"]
+
+
+@dataclass
+class CasResult:
+    """Outcome of a compare-and-set.
+
+    ``applied`` mirrors Cassandra's ``[applied]`` column; when False,
+    ``current`` holds the merged rows the condition was evaluated on so
+    callers can see why they lost.
+    """
+
+    applied: bool
+    current: Dict[Any, Row] = field(default_factory=dict)
+
+
+class StoreCoordinator:
+    """Executes store operations from a host node against the replicas."""
+
+    def __init__(
+        self,
+        node: Node,
+        ring: HashRing,
+        config: StoreConfig,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.ring = ring
+        self.config = config
+        self._rng = (streams or RandomStreams(0)).stream(f"cas:{node.node_id}")
+        self._ballot_round = 0
+        self._op_ids = itertools.count(1)
+        self._hints: List[Tuple[str, List[Any]]] = []
+        self._hint_replayer = None
+
+    # -- replica selection ---------------------------------------------------
+
+    def replicas(self, partition: str) -> List[str]:
+        return self.ring.replicas_for(partition, self.config.replication_factor)
+
+    def _nearest(self, replicas: List[str], local_only: bool) -> str:
+        """The replica in our site, else the lowest-RTT one."""
+        profile = self.node.network.profile
+        my_site = self.node.site
+        for replica in replicas:
+            if self.node.network.site_of(replica) == my_site:
+                return replica
+        if local_only:
+            raise QuorumUnavailable(f"no replica of partition in site {my_site}")
+        return min(
+            replicas, key=lambda r: profile.rtt(my_site, self.node.network.site_of(r))
+        )
+
+    @staticmethod
+    def _needed(consistency: str, replica_count: int) -> int:
+        if consistency in (Consistency.ONE, Consistency.LOCAL_ONE):
+            return 1
+        if consistency == Consistency.QUORUM:
+            return quorum_size(replica_count)
+        if consistency == Consistency.ALL:
+            return replica_count
+        raise ValueError(f"unknown consistency {consistency!r}")
+
+    # -- reads ------------------------------------------------------------
+
+    def get(
+        self,
+        table: str,
+        partition: str,
+        clustering: Any = "__all_rows__",
+        consistency: str = Consistency.QUORUM,
+        read_repair: bool = False,
+    ) -> Generator[Any, Any, Dict[Any, Row]]:
+        """Read rows of a partition; returns merged {clustering: Row}.
+
+        At ONE/LOCAL_ONE only one replica is consulted (an *eventual*
+        read: possibly stale).  At QUORUM/ALL, replies are merged cell-
+        wise by stamp, so the result is at least as new as any value
+        acknowledged at the same consistency.
+        """
+        yield from self.node.compute(self.config.coordinator_service_ms)
+        replicas = self.replicas(partition)
+        body = {"table": table, "partition": partition, "clustering": clustering}
+        if consistency in (Consistency.ONE, Consistency.LOCAL_ONE):
+            target = self._nearest(replicas, local_only=consistency == Consistency.LOCAL_ONE)
+            reply = yield from self.node.call(
+                target, "store_read", body, timeout=self.config.rpc_timeout_ms
+            )
+            return reply["rows"]
+        needed = self._needed(consistency, len(replicas))
+        handles = self.node.call_many(
+            replicas, "store_read", body, timeout=self.config.rpc_timeout_ms
+        )
+        replies = yield from await_quorum(self.sim, handles, needed)
+        merged = self._merge_replies([reply for _dst, reply in replies])
+        if read_repair or self.config.read_repair_enabled:
+            self._issue_read_repair(table, partition, merged, [dst for dst, _ in replies])
+        return merged
+
+    def scan_keys(
+        self, table: str, consistency: str = Consistency.LOCAL_ONE
+    ) -> Generator[Any, Any, List[str]]:
+        """Partition keys of a table from one replica (an eventual read).
+
+        Used by the homing service's getAllKeys; staleness is harmless
+        there (Section VII-a).
+        """
+        yield from self.node.compute(self.config.coordinator_service_ms)
+        all_nodes = self.ring.nodes
+        target = self._nearest(all_nodes, local_only=False)
+        reply = yield from self.node.call(
+            target, "store_scan", {"table": table}, timeout=self.config.rpc_timeout_ms
+        )
+        return reply["keys"]
+
+    @staticmethod
+    def _merge_replies(replies: List[Dict[str, Any]]) -> Dict[Any, Row]:
+        merged: Dict[Any, Row] = {}
+        for reply in replies:
+            for clustering, row in reply["rows"].items():
+                existing = merged.setdefault(clustering, Row())
+                existing.merge_from(row)
+        return {c: r for c, r in merged.items() if r.live}
+
+    def _issue_read_repair(
+        self, table: str, partition: str, merged: Dict[Any, Row], replicas: List[str]
+    ) -> None:
+        """Push the merged view back to the replicas that replied (async)."""
+        updates: List[Any] = []
+        for clustering, row in merged.items():
+            for column, cell in row.visible_cells().items():
+                updates.append(
+                    Update(table, partition, clustering, {column: cell.value}, cell.stamp)
+                )
+        if not updates:
+            return
+        size = sum(update.size_bytes() for update in updates)
+        handles = self.node.call_many(
+            replicas,
+            "store_write",
+            {"updates": updates},
+            size_bytes=size,
+            timeout=self.config.rpc_timeout_ms,
+        )
+        for _dst, process in handles:
+            # Fire-and-forget: observe the outcome so a timeout on a dead
+            # replica is not treated as an unhandled failure.
+            process.add_callback(lambda _event: None)
+
+    # -- writes ------------------------------------------------------------
+
+    def put(
+        self,
+        table: str,
+        partition: str,
+        clustering: Any,
+        columns: Dict[str, Any],
+        stamp: Stamp,
+        consistency: str = Consistency.QUORUM,
+    ) -> Generator[Any, Any, None]:
+        """Write cells to a row at the given consistency.
+
+        All replicas receive the write (replication); the call returns
+        once ``consistency``-many have acknowledged.  QUORUM here is the
+        paper's ``dsPutQuorum``.
+        """
+        update = Update(table, partition, clustering, dict(columns), stamp)
+        yield from self._write([update], consistency)
+
+    def delete_row(
+        self,
+        table: str,
+        partition: str,
+        clustering: Any,
+        stamp: Stamp,
+        consistency: str = Consistency.QUORUM,
+    ) -> Generator[Any, Any, None]:
+        yield from self._write([DeleteRow(table, partition, clustering, stamp)], consistency)
+
+    def _write(self, updates: List[Any], consistency: str) -> Generator[Any, Any, None]:
+        yield from self.node.compute(self.config.coordinator_service_ms)
+        partition = updates[0].partition
+        table = updates[0].table
+        if any(u.partition != partition or u.table != table for u in updates):
+            raise ValueError("a write batch must target a single (table, partition)")
+        replicas = self.replicas(partition)
+        needed = self._needed(consistency, len(replicas))
+        size = sum(update.size_bytes() for update in updates)
+        handles = self.node.call_many(
+            replicas,
+            "store_write",
+            {"updates": updates},
+            size_bytes=size,
+            timeout=self.config.rpc_timeout_ms,
+        )
+        if self.config.hinted_handoff_enabled:
+            for dst, handle in handles:
+                handle.add_callback(self._hint_on_failure(dst, updates))
+        yield from await_quorum(self.sim, handles, needed)
+
+    # -- hinted handoff ---------------------------------------------------------
+
+    def _hint_on_failure(self, replica: str, updates: List[Any]):
+        def on_outcome(event) -> None:
+            if event.ok:
+                return
+            if len(self._hints) >= self.config.max_hints_per_coordinator:
+                return  # shed hints under sustained failure (Cassandra does too)
+            self._hints.append((replica, updates))
+            self._ensure_hint_replayer()
+
+        return on_outcome
+
+    def _ensure_hint_replayer(self) -> None:
+        if self._hint_replayer is not None and not self._hint_replayer.triggered:
+            return
+        self._hint_replayer = self.sim.process(
+            self._replay_hints(), name=f"hints:{self.node.node_id}"
+        )
+
+    def _replay_hints(self) -> Generator[Any, Any, None]:
+        """Periodically retry undelivered writes until they land."""
+        while self._hints:
+            yield self.sim.timeout(self.config.hint_replay_interval_ms)
+            pending, self._hints = self._hints, []
+            for replica, updates in pending:
+                try:
+                    yield from self.node.call(
+                        replica, "store_write", {"updates": updates},
+                        size_bytes=sum(u.size_bytes() for u in updates),
+                        timeout=self.config.rpc_timeout_ms,
+                    )
+                except ReproError:
+                    if len(self._hints) < self.config.max_hints_per_coordinator:
+                        self._hints.append((replica, updates))
+
+    @property
+    def pending_hints(self) -> int:
+        return len(self._hints)
+
+    # -- light-weight transactions (per-partition Paxos) -------------------------
+
+    def cas(
+        self,
+        table: str,
+        partition: str,
+        condition: Condition,
+        mutation: Mutation,
+        max_attempts: Optional[int] = None,
+        stamp_with_ballot: bool = False,
+    ) -> Generator[Any, Any, CasResult]:
+        """Compare-and-set: apply ``mutation`` iff ``condition`` holds.
+
+        Linearized through per-partition Paxos; costs four quorum round
+        trips when uncontended.  On ballot contention the coordinator
+        backs off and retries; :class:`LockContention` is raised only
+        after ``max_attempts`` consecutive losses.
+
+        With ``stamp_with_ballot``, the mutation's write stamps are
+        replaced by the winning Paxos ballot (Cassandra's behaviour):
+        the promise protocol forces ballots to grow per partition, so
+        successive CAS mutations merge in linearization order even when
+        coordinators' clocks disagree.  Without it, the caller's stamps
+        are used verbatim (needed when stamps carry semantics, like
+        MUSIC's v2s vector timestamps).
+        """
+        attempts = max_attempts or self.config.cas_max_attempts
+        # One identity for the whole logical operation: re-stamped retry
+        # attempts must still be recognisable as *this* CAS (for the
+        # ambiguity resolution when a partial accept is completed by a
+        # competing coordinator).
+        op_id = f"{self.node.node_id}#{next(self._op_ids)}"
+        mutation = [replace(update, op_id=op_id) for update in mutation]
+        for attempt in range(attempts):
+            outcome = yield from self._cas_once(
+                table, partition, condition, mutation, stamp_with_ballot
+            )
+            if outcome is not None:
+                return outcome
+            # Exponential backoff (capped): under heavy contention a
+            # partition admits roughly one winner per LWT duration, so
+            # losers must spread out across many such rounds.
+            backoff = min(
+                self.config.cas_backoff_base_ms * (2 ** min(attempt, 7)),
+                2_000.0,
+            )
+            backoff += self._rng.uniform(0.0, self.config.cas_backoff_jitter_ms)
+            yield self.sim.timeout(backoff)
+        raise LockContention(
+            f"cas on {table}/{partition} lost {attempts} ballot races"
+        )
+
+    def _cas_once(
+        self,
+        table: str,
+        partition: str,
+        condition: Condition,
+        mutation: Mutation,
+        stamp_with_ballot: bool = False,
+    ) -> Generator[Any, Any, Optional[CasResult]]:
+        """One Paxos attempt; returns None to signal retry-with-backoff."""
+        yield from self.node.compute(self.config.coordinator_service_ms)
+        replicas = self.replicas(partition)
+        needed = quorum_size(len(replicas))
+        ballot = self._next_ballot()
+        target = {"table": table, "partition": partition, "ballot": ballot}
+        if stamp_with_ballot:
+            stamp = (float(ballot[0]), ballot[1])
+            mutation = [replace(update, stamp=stamp) for update in mutation]
+
+        # Round 1: prepare/promise.
+        handles = self.node.call_many(
+            replicas, "paxos_prepare", target, timeout=self.config.rpc_timeout_ms
+        )
+        replies = yield from await_quorum(self.sim, handles, needed)
+        promises = [reply for _dst, reply in replies]
+        if not all(promise["promised"] for promise in promises):
+            # Lost the ballot race: advance past the winning ballot, or
+            # a coordinator whose clock runs behind a competitor's could
+            # be starved forever (clocks only order a single node's own
+            # ballots — never rely on cross-node clock agreement).
+            self._observe_ballots(promises)
+            return None
+        in_progress = [p["in_progress"] for p in promises if p["in_progress"] is not None]
+        if in_progress:
+            # Finish the most recent incomplete proposal before our own
+            # (Cassandra's LWT recovery path).  If the orphan is our own
+            # mutation from an earlier partially-accepted attempt,
+            # finishing it *is* our operation succeeding.
+            _stale_ballot, stale_mutation = max(in_progress, key=lambda pair: pair[0])
+            accepted = yield from self._propose(replicas, needed, target, stale_mutation)
+            if accepted:
+                yield from self._commit(replicas, needed, target, stale_mutation)
+                if self._same_mutation(stale_mutation, mutation):
+                    return CasResult(applied=True)
+            return None
+
+        # Round 2: read phase — evaluate the condition on merged quorum state.
+        read_body = {"table": table, "partition": partition, "clustering": "__all_rows__"}
+        read_handles = self.node.call_many(
+            replicas, "store_read", read_body, timeout=self.config.rpc_timeout_ms
+        )
+        read_replies = yield from await_quorum(self.sim, read_handles, needed)
+        current = self._merge_replies([reply for _dst, reply in read_replies])
+        if self._mutation_visible(current, mutation):
+            # A competing coordinator completed our partially-accepted
+            # proposal from an earlier attempt: we already took effect.
+            return CasResult(applied=True, current=current)
+        if not condition.evaluate(current):
+            return CasResult(applied=False, current=current)
+
+        # Round 3: propose/accept.
+        accepted = yield from self._propose(replicas, needed, target, mutation)
+        if not accepted:
+            return None
+
+        # Round 4: commit/apply.
+        yield from self._commit(replicas, needed, target, mutation)
+        return CasResult(applied=True, current=current)
+
+    def _propose(
+        self,
+        replicas: List[str],
+        needed: int,
+        target: Dict[str, Any],
+        mutation: Mutation,
+    ) -> Generator[Any, Any, bool]:
+        size = sum(update.size_bytes() for update in mutation)
+        body = dict(target, mutation=mutation)
+        handles = self.node.call_many(
+            replicas,
+            "paxos_propose",
+            body,
+            size_bytes=size,
+            timeout=self.config.rpc_timeout_ms,
+        )
+        replies = yield from await_quorum(self.sim, handles, needed)
+        rejections = [reply for _dst, reply in replies if not reply["accepted"]]
+        if rejections:
+            self._observe_ballots(rejections)
+            return False
+        return True
+
+    def _commit(
+        self,
+        replicas: List[str],
+        needed: int,
+        target: Dict[str, Any],
+        mutation: Mutation,
+    ) -> Generator[Any, Any, None]:
+        body = dict(target, mutation=mutation)
+        handles = self.node.call_many(
+            replicas, "paxos_commit", body, timeout=self.config.rpc_timeout_ms
+        )
+        yield from await_quorum(self.sim, handles, needed)
+
+    @staticmethod
+    def _same_mutation(left: Mutation, right: Mutation) -> bool:
+        """Whether two mutations are the same logical operation.
+
+        Compared by op_id (stable across re-stamped retry attempts).
+        """
+        if len(left) != len(right):
+            return False
+        return all(
+            a.op_id and a.op_id == b.op_id for a, b in zip(left, right)
+        )
+
+    @staticmethod
+    def _mutation_visible(current: Dict[Any, Row], mutation: Mutation) -> bool:
+        """Whether ``mutation``'s cells are present in ``current``.
+
+        Matched by op_id: a hit on any written cell proves this very
+        logical operation was committed (possibly by a competing
+        coordinator that completed our partially-accepted proposal).
+        """
+        for update in mutation:
+            if not isinstance(update, Update) or not update.op_id:
+                continue
+            row = current.get(update.clustering)
+            if row is None:
+                continue
+            for column in update.columns:
+                cell = row.visible_cells().get(column)
+                if cell is not None and cell.op_id == update.op_id:
+                    return True
+        return False
+
+    def _observe_ballots(self, replies: List[Dict[str, Any]]) -> None:
+        """Learn competitors' ballots from rejections so the next
+        attempt's ballot exceeds them."""
+        for reply in replies:
+            promised = reply.get("promised_ballot")
+            if promised is not None:
+                self._ballot_round = max(self._ballot_round, promised[0])
+
+    def _next_ballot(self) -> Tuple[int, str]:
+        self._ballot_round = max(
+            self._ballot_round + 1, int(self.node.clock.now() * 1000)
+        )
+        return (self._ballot_round, self.node.node_id)

@@ -1,0 +1,299 @@
+"""A storage replica: memtable, LWW merge, per-partition Paxos, anti-entropy.
+
+Each replica is a :class:`~repro.net.node.Node` that serves:
+
+- ``store_read``   — return (copies of) the live rows of a partition;
+- ``store_write``  — apply a batch of LWW cell updates / row deletes;
+- ``paxos_prepare``, ``paxos_propose``, ``paxos_commit`` — the per-
+  partition single-decree Paxos that backs light-weight transactions,
+  mirroring Cassandra's LWT implementation (Appendix X-A1: 4 round
+  trips, of which the read phase reuses ``store_read``);
+- ``ae_exchange``  — anti-entropy: merge a peer's rows and reply with
+  our own, so writes eventually propagate to all replicas even across
+  healed partitions (Section III-B's "a write ... eventually propagates
+  to all other replicas").
+
+All state mutations happen without intervening yields, so each handler
+step is atomic with respect to other requests, matching the "biggest
+atomic event is confined to one node" granularity of the paper's formal
+model (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..sim import NodeClock, Simulator
+from ..net import Message, Network, Node
+from .config import StoreConfig
+from .types import Ballot, Mutation, Partition, Row, Stamp, payload_size
+
+__all__ = ["StorageReplica", "PaxosState"]
+
+# Sentinel meaning "read the whole partition" in a store_read request.
+ALL_ROWS = "__all_rows__"
+
+
+@dataclass
+class PaxosState:
+    """Single-decree Paxos acceptor state for one (table, partition)."""
+
+    promised: Optional[Ballot] = None
+    accepted: Optional[Tuple[Ballot, Mutation]] = None
+    committed_ballots: set = field(default_factory=set)
+
+
+class StorageReplica(Node):
+    """One back-end store node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        site: str,
+        config: StoreConfig,
+        cores: int = 8,
+        clock: Optional[NodeClock] = None,
+        peers: Optional[List[str]] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, site, cores=cores, clock=clock)
+        self.config = config
+        # tables[table][partition_key][clustering] -> Row
+        self.tables: Dict[str, Dict[str, Partition]] = {}
+        self.paxos: Dict[Tuple[str, str], PaxosState] = {}
+        self.peers: List[str] = list(peers or [])
+        # Placement ring, set by the cluster builder; used to restrict
+        # anti-entropy to partitions both endpoints actually replicate.
+        self.ring = None
+        self._ae_cursor = 0
+        self.counters = {"reads": 0, "writes": 0, "paxos_prepares": 0, "paxos_commits": 0}
+        self.on("store_read", self._handle_read)
+        self.on("store_write", self._handle_write)
+        self.on("store_scan", self._handle_scan)
+        self.on("paxos_prepare", self._handle_paxos_prepare)
+        self.on("paxos_propose", self._handle_paxos_propose)
+        self.on("paxos_commit", self._handle_paxos_commit)
+        self.on("ae_exchange", self._handle_ae_exchange)
+
+    def start(self) -> None:
+        super().start()
+        if self.config.anti_entropy_enabled and self.peers:
+            self.sim.process(self._anti_entropy_loop(), name=f"ae:{self.node_id}")
+
+    # -- local storage ------------------------------------------------------
+
+    def _partition(self, table: str, partition_key: str) -> Partition:
+        return self.tables.setdefault(table, {}).setdefault(partition_key, {})
+
+    def apply_update(self, update: Any) -> None:
+        """Apply one Update or DeleteRow to local state (LWW merge)."""
+        partition = self._partition(update.table, update.partition)
+        row = partition.setdefault(update.clustering, Row())
+        if hasattr(update, "columns"):
+            for column, value in update.columns.items():
+                row.apply_cell(column, value, update.stamp, update.op_id)
+        else:
+            row.delete(update.stamp)
+
+    def local_rows(self, table: str, partition_key: str) -> Dict[Any, Row]:
+        """Copies of the live rows of a partition (empty dict if none)."""
+        partition = self.tables.get(table, {}).get(partition_key, {})
+        return {
+            clustering: row.copy()
+            for clustering, row in partition.items()
+            if row.live
+        }
+
+    def local_row(self, table: str, partition_key: str, clustering: Any) -> Optional[Row]:
+        partition = self.tables.get(table, {}).get(partition_key, {})
+        row = partition.get(clustering)
+        if row is None or not row.live:
+            return None
+        return row.copy()
+
+    # -- read/write handlers -------------------------------------------------
+
+    def _handle_read(self, msg: Message) -> Generator[Any, Any, None]:
+        body = self.payload(msg)
+        yield from self.compute(self.config.read_service_ms)
+        self.counters["reads"] += 1
+        clustering = body.get("clustering", ALL_ROWS)
+        if clustering == ALL_ROWS:
+            rows = self.local_rows(body["table"], body["partition"])
+        else:
+            row = self.local_row(body["table"], body["partition"], clustering)
+            rows = {clustering: row} if row is not None else {}
+        reply = {"rows": rows}
+        size = sum(payload_size(row.visible_values()) for row in rows.values()) + 32
+        self.reply(msg, reply, size_bytes=size)
+
+    def _handle_write(self, msg: Message) -> Generator[Any, Any, None]:
+        body = self.payload(msg)
+        updates = body["updates"]
+        size = sum(update.size_bytes() for update in updates)
+        yield from self.compute(
+            self.config.write_service_ms + self.config.value_service_ms(size)
+        )
+        self.counters["writes"] += 1
+        for update in updates:
+            self.apply_update(update)
+        self.reply(msg, {"ok": True})
+
+    def _handle_scan(self, msg: Message) -> Generator[Any, Any, None]:
+        """List the live partition keys of a table (an eventual read)."""
+        body = self.payload(msg)
+        yield from self.compute(self.config.read_service_ms)
+        partitions = self.tables.get(body["table"], {})
+        keys = sorted(
+            partition_key
+            for partition_key, rows in partitions.items()
+            if any(row.live for row in rows.values())
+        )
+        self.reply(msg, {"keys": keys}, size_bytes=16 * len(keys) + 32)
+
+    # -- Paxos acceptor handlers ----------------------------------------------
+
+    def _paxos_state(self, table: str, partition_key: str) -> PaxosState:
+        return self.paxos.setdefault((table, partition_key), PaxosState())
+
+    def _handle_paxos_prepare(self, msg: Message) -> Generator[Any, Any, None]:
+        body = self.payload(msg)
+        yield from self.compute(self.config.paxos_phase_service_ms)
+        self.counters["paxos_prepares"] += 1
+        state = self._paxos_state(body["table"], body["partition"])
+        ballot: Ballot = body["ballot"]
+        if state.promised is not None and ballot <= state.promised:
+            self.reply(msg, {"promised": False, "promised_ballot": state.promised})
+            return
+        state.promised = ballot
+        in_progress = None
+        if state.accepted is not None:
+            accepted_ballot, mutation = state.accepted
+            in_progress = (accepted_ballot, mutation)
+        self.reply(msg, {"promised": True, "in_progress": in_progress})
+
+    def _handle_paxos_propose(self, msg: Message) -> Generator[Any, Any, None]:
+        body = self.payload(msg)
+        mutation: Mutation = body["mutation"]
+        size = sum(update.size_bytes() for update in mutation)
+        yield from self.compute(
+            self.config.paxos_phase_service_ms + self.config.value_service_ms(size)
+        )
+        state = self._paxos_state(body["table"], body["partition"])
+        ballot: Ballot = body["ballot"]
+        if state.promised is not None and ballot < state.promised:
+            self.reply(msg, {"accepted": False, "promised_ballot": state.promised})
+            return
+        state.promised = ballot
+        state.accepted = (ballot, mutation)
+        self.reply(msg, {"accepted": True})
+
+    def _handle_paxos_commit(self, msg: Message) -> Generator[Any, Any, None]:
+        body = self.payload(msg)
+        yield from self.compute(self.config.paxos_phase_service_ms)
+        self.counters["paxos_commits"] += 1
+        state = self._paxos_state(body["table"], body["partition"])
+        ballot: Ballot = body["ballot"]
+        mutation: Mutation = body["mutation"]
+        # Apply the decided mutation (idempotent thanks to LWW stamps).
+        if ballot not in state.committed_ballots:
+            state.committed_ballots.add(ballot)
+            for update in mutation:
+                self.apply_update(update)
+        if state.accepted is not None and state.accepted[0] <= ballot:
+            state.accepted = None
+        self.reply(msg, {"ok": True})
+
+    # -- anti-entropy -----------------------------------------------------------
+
+    def _anti_entropy_loop(self) -> Generator[Any, Any, None]:
+        rng = None
+        interval = self.config.anti_entropy_interval_ms
+        while True:
+            if rng is None:
+                import random
+
+                rng = random.Random(hash(self.node_id) & 0xFFFF)
+            yield self.sim.timeout(interval * (0.75 + 0.5 * rng.random()))
+            if self.failed or not self.peers:
+                continue
+            peer = rng.choice(self.peers)
+            if peer == self.node_id:
+                continue
+            batch = self._next_ae_batch(limit=32, peer=peer)
+            if not batch:
+                continue
+            size = sum(
+                payload_size(row.visible_values())
+                for _t, _p, rows in batch
+                for row in rows.values()
+            )
+            try:
+                reply = yield from self.call(
+                    peer,
+                    "ae_exchange",
+                    {"entries": batch},
+                    size_bytes=size + 64,
+                    timeout=self.config.rpc_timeout_ms,
+                )
+            except Exception:
+                continue  # unreachable peer; try again next round
+            for table, partition_key, rows in reply["entries"]:
+                self._merge_rows(table, partition_key, rows)
+
+    def _owns(self, node_id: str, partition_key: str) -> bool:
+        if self.ring is None:
+            return True
+        return node_id in self.ring.replicas_for(partition_key, self.config.replication_factor)
+
+    def _next_ae_batch(
+        self, limit: int, peer: Optional[str] = None
+    ) -> List[Tuple[str, str, Dict[Any, Row]]]:
+        """A rotating window of partitions to exchange this round."""
+        everything: List[Tuple[str, str]] = [
+            (table, partition_key)
+            for table, partitions in self.tables.items()
+            for partition_key in partitions
+            if peer is None or self._owns(peer, partition_key)
+        ]
+        if not everything:
+            return []
+        start = self._ae_cursor % len(everything)
+        self._ae_cursor += limit
+        window = [everything[(start + i) % len(everything)] for i in range(min(limit, len(everything)))]
+        batch = []
+        for table, partition_key in window:
+            rows = {
+                clustering: row.copy()
+                for clustering, row in self.tables[table][partition_key].items()
+            }
+            batch.append((table, partition_key, rows))
+        return batch
+
+    def _handle_ae_exchange(self, msg: Message) -> Generator[Any, Any, None]:
+        body = self.payload(msg)
+        yield from self.compute(self.config.read_service_ms)
+        reply_entries = []
+        for table, partition_key, rows in body["entries"]:
+            if not self._owns(self.node_id, partition_key):
+                continue
+            ours = {
+                clustering: row.copy()
+                for clustering, row in self.tables.get(table, {}).get(partition_key, {}).items()
+            }
+            self._merge_rows(table, partition_key, rows)
+            reply_entries.append((table, partition_key, ours))
+        size = sum(
+            payload_size(row.visible_values())
+            for _t, _p, rows in reply_entries
+            for row in rows.values()
+        )
+        self.reply(msg, {"entries": reply_entries}, size_bytes=size + 64)
+
+    def _merge_rows(self, table: str, partition_key: str, rows: Dict[Any, Row]) -> None:
+        partition = self._partition(table, partition_key)
+        for clustering, row in rows.items():
+            existing = partition.setdefault(clustering, Row())
+            existing.merge_from(row)

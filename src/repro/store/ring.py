@@ -1,0 +1,91 @@
+"""Consistent-hash ring with site-aware replica placement.
+
+The paper's deployments keep "one copy of each key-value pair on each
+site" while sharding partitions across the nodes within a site as the
+cluster grows from 3 to 9 nodes (Fig. 4b).  ``HashRing`` reproduces
+that: tokens are derived from node ids via virtual nodes, and replica
+selection walks the ring taking the first node encountered in each site
+until the replication factor is met — Cassandra's
+NetworkTopologyStrategy with one replica per datacenter.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _hash64(data: str) -> int:
+    return int.from_bytes(hashlib.md5(data.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Maps partition keys to replica lists, one replica per site."""
+
+    def __init__(self, vnodes: int = 16) -> None:
+        self.vnodes = vnodes
+        self._sites: Dict[str, str] = {}  # node_id -> site
+        self._tokens: List[Tuple[int, str]] = []  # sorted (token, node_id)
+        self._token_values: List[int] = []
+
+    def add_node(self, node_id: str, site: str) -> None:
+        if node_id in self._sites:
+            raise ValueError(f"node {node_id!r} already on the ring")
+        self._sites[node_id] = site
+        for vnode in range(self.vnodes):
+            self._tokens.append((_hash64(f"{node_id}#{vnode}"), node_id))
+        self._tokens.sort()
+        self._token_values = [token for token, _ in self._tokens]
+
+    def remove_node(self, node_id: str) -> None:
+        if node_id not in self._sites:
+            raise KeyError(node_id)
+        del self._sites[node_id]
+        self._tokens = [(token, owner) for token, owner in self._tokens if owner != node_id]
+        self._token_values = [token for token, _ in self._tokens]
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._sites)
+
+    @property
+    def sites(self) -> List[str]:
+        return sorted(set(self._sites.values()))
+
+    def site_of(self, node_id: str) -> str:
+        return self._sites[node_id]
+
+    def replicas_for(self, partition_key: str, replication_factor: int = 0) -> List[str]:
+        """Replica node ids for a partition, first-walked order.
+
+        With the default replication factor (number of sites), the list
+        holds exactly one node per site.  Raises if the ring cannot
+        satisfy the requested factor with distinct sites.
+        """
+        if not self._tokens:
+            raise ValueError("ring is empty")
+        factor = replication_factor or len(self.sites)
+        if factor > len(self.sites):
+            raise ValueError(
+                f"replication factor {factor} exceeds site count {len(self.sites)}"
+            )
+        start = bisect.bisect_right(self._token_values, _hash64(partition_key))
+        replicas: List[str] = []
+        seen_sites: set = set()
+        count = len(self._tokens)
+        for step in range(count):
+            _token, node_id = self._tokens[(start + step) % count]
+            site = self._sites[node_id]
+            if site in seen_sites or node_id in replicas:
+                continue
+            replicas.append(node_id)
+            seen_sites.add(site)
+            if len(replicas) == factor:
+                return replicas
+        raise ValueError(f"could not place {factor} replicas across sites")
+
+    def is_replica(self, node_id: str, partition_key: str, replication_factor: int = 0) -> bool:
+        return node_id in self.replicas_for(partition_key, replication_factor)

@@ -1,0 +1,226 @@
+"""Data model of the replicated store.
+
+The store speaks a narrow subset of Cassandra's model, which is all the
+paper needs (Fig. 2):
+
+- A **table** holds **partitions** addressed by a partition key.
+- A partition holds **rows** addressed by a clustering key (``None`` for
+  single-row partitions such as the data table).
+- A row holds named **cells**; each cell carries the writer-supplied
+  scalar timestamp, and conflicts resolve last-write-wins per cell.
+- Row deletes write a **tombstone** timestamp hiding older cells.
+
+Timestamps are ``(ts, writer)`` pairs: the scalar part is supplied by
+the writer (this is where MUSIC's v2s(lockRef, time) mapping plugs in),
+and the writer id breaks exact ties deterministically, as Cassandra
+breaks timestamp ties by value comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Stamp",
+    "Cell",
+    "Row",
+    "Partition",
+    "Update",
+    "DeleteRow",
+    "Mutation",
+    "Condition",
+    "Ballot",
+    "Consistency",
+    "payload_size",
+]
+
+# A write stamp: (scalar timestamp, writer id).  Compared lexicographically.
+Stamp = Tuple[float, str]
+
+
+@dataclass
+class Cell:
+    """One column value with its write stamp.
+
+    ``op_id`` identifies the logical operation that wrote the cell (set
+    by the LWT coordinator); it lets a coordinator recognise that its
+    own partially-accepted proposal was completed by someone else even
+    after retries re-stamped the mutation.
+    """
+
+    value: Any
+    stamp: Stamp
+    op_id: str = ""
+
+
+@dataclass
+class Row:
+    """A row: cells by column name, plus a tombstone stamp if deleted.
+
+    A cell is *visible* only if its stamp is newer than the tombstone;
+    a newer write resurrects the row, matching Cassandra semantics (and
+    making lock-queue deletes safe because lockRefs are never reused).
+    """
+
+    cells: Dict[str, Cell] = field(default_factory=dict)
+    tombstone: Optional[Stamp] = None
+
+    def apply_cell(self, column: str, value: Any, stamp: Stamp, op_id: str = "") -> bool:
+        """Last-write-wins merge of one cell; True if the write took effect.
+
+        Exact stamp ties break by value comparison (as Cassandra breaks
+        equal-timestamp writes by comparing the serialized values), so
+        the merge stays commutative for any pair of writes.
+        """
+        existing = self.cells.get(column)
+        if existing is not None:
+            if existing.stamp > stamp:
+                return False
+            if existing.stamp == stamp and repr(existing.value) >= repr(value):
+                return False
+        self.cells[column] = Cell(value, stamp, op_id)
+        return True
+
+    def delete(self, stamp: Stamp) -> None:
+        if self.tombstone is None or stamp > self.tombstone:
+            self.tombstone = stamp
+
+    def visible_cells(self) -> Dict[str, Cell]:
+        if self.tombstone is None:
+            return dict(self.cells)
+        return {
+            name: cell for name, cell in self.cells.items() if cell.stamp > self.tombstone
+        }
+
+    def visible_values(self) -> Dict[str, Any]:
+        return {name: cell.value for name, cell in self.visible_cells().items()}
+
+    @property
+    def live(self) -> bool:
+        return bool(self.visible_cells())
+
+    def merge_from(self, other: "Row") -> None:
+        """Fold another replica's view of this row into ours (anti-entropy)."""
+        if other.tombstone is not None:
+            self.delete(other.tombstone)
+        for column, cell in other.cells.items():
+            self.apply_cell(column, cell.value, cell.stamp, cell.op_id)
+
+    def copy(self) -> "Row":
+        clone = Row(tombstone=self.tombstone)
+        clone.cells = {
+            name: Cell(cell.value, cell.stamp, cell.op_id)
+            for name, cell in self.cells.items()
+        }
+        return clone
+
+
+# A partition: rows by clustering key.  Clustering keys must be mutually
+# comparable within a partition (the lock table uses integer lockRefs).
+Partition = Dict[Any, Row]
+
+
+@dataclass
+class Update:
+    """Upsert of some cells in one row."""
+
+    table: str
+    partition: str
+    clustering: Any
+    columns: Dict[str, Any]
+    stamp: Stamp
+    op_id: str = ""
+
+    def size_bytes(self) -> int:
+        return sum(payload_size(value) for value in self.columns.values()) + 32
+
+
+@dataclass
+class DeleteRow:
+    """Row-level delete (tombstone)."""
+
+    table: str
+    partition: str
+    clustering: Any
+    stamp: Stamp
+    op_id: str = ""
+
+    def size_bytes(self) -> int:
+        return 32
+
+
+# An atomic batch of writes within one (table, partition) — the unit a
+# light-weight transaction commits.
+Mutation = List[Any]  # list of Update | DeleteRow
+
+
+@dataclass(frozen=True)
+class Condition:
+    """The IF-clause of a compare-and-set, evaluated on merged quorum state.
+
+    kinds:
+      ``always``      unconditional (still serialized through Paxos)
+      ``not_exists``  row at ``clustering`` must not be live
+      ``exists``      row at ``clustering`` must be live
+      ``col_eq``      ``column`` of the row equals ``expected`` (a missing
+                      row or column compares equal to ``None``)
+    """
+
+    kind: str
+    clustering: Any = None
+    column: Optional[str] = None
+    expected: Any = None
+
+    def evaluate(self, partition: Partition) -> bool:
+        if self.kind == "always":
+            return True
+        row = partition.get(self.clustering)
+        live = row is not None and row.live
+        if self.kind == "not_exists":
+            return not live
+        if self.kind == "exists":
+            return live
+        if self.kind == "col_eq":
+            current = None
+            if live:
+                cell = row.visible_cells().get(self.column)
+                current = cell.value if cell is not None else None
+            return current == self.expected
+        raise ValueError(f"unknown condition kind {self.kind!r}")
+
+
+# Paxos ballot: (round number, proposer id); lexicographic order.
+Ballot = Tuple[int, str]
+
+
+class Consistency:
+    """Consistency levels for reads and writes (Cassandra-style)."""
+
+    ONE = "ONE"
+    LOCAL_ONE = "LOCAL_ONE"  # nearest replica in the caller's site
+    QUORUM = "QUORUM"
+    ALL = "ALL"
+
+
+def payload_size(value: Any) -> int:
+    """Rough wire size of a value, for transmission/CPU cost modelling.
+
+    Objects exposing a ``payload_size()`` method (e.g. the workload
+    generator's SizedValue) declare their own modelled size.
+    """
+    if hasattr(value, "payload_size"):
+        return value.payload_size()
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, dict):
+        return sum(payload_size(k) + payload_size(v) for k, v in value.items()) + 8
+    if isinstance(value, (list, tuple)):
+        return sum(payload_size(item) for item in value) + 8
+    return 64

@@ -1,0 +1,30 @@
+"""Formal verification: the Section V model and a bounded checker."""
+
+from .checker import CheckResult, ModelChecker
+from .invariants import INVARIANTS, Violation, check_invariants
+from .model import (
+    K,
+    ClientState,
+    ModelConfig,
+    ModelState,
+    Phase,
+    Write,
+    enabled_events,
+    initial_state,
+)
+
+__all__ = [
+    "CheckResult",
+    "ClientState",
+    "INVARIANTS",
+    "K",
+    "ModelChecker",
+    "ModelConfig",
+    "ModelState",
+    "Phase",
+    "Violation",
+    "Write",
+    "check_invariants",
+    "enabled_events",
+    "initial_state",
+]

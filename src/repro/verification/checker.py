@@ -1,0 +1,110 @@
+"""A bounded explicit-state model checker (the Alloy Analyzer stand-in).
+
+Exhaustively explores every interleaving of the model's events within
+the configured scope (breadth-first, so counterexample traces are
+minimal), checking every invariant on every reachable state — the same
+proof obligation structure as Section V-B: the initial state satisfies
+the invariants, and every enabled event from an invariant-satisfying
+state leads to an invariant-satisfying state.  The "small scope
+hypothesis" does the rest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .invariants import INVARIANTS, Violation, check_invariants
+from .model import ModelConfig, ModelState, enabled_events, initial_state
+
+__all__ = ["CheckResult", "ModelChecker"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an exhaustive run."""
+
+    states_explored: int
+    transitions: int
+    max_depth: int
+    violation: Optional[Violation] = None
+    event_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"VIOLATION: {self.violation}"
+        return (
+            f"{self.states_explored} states, {self.transitions} transitions, "
+            f"depth {self.max_depth}: {status}"
+        )
+
+
+class ModelChecker:
+    """Breadth-first exhaustive exploration with memoization."""
+
+    def __init__(self, config: Optional[ModelConfig] = None,
+                 invariants: Optional[List[str]] = None,
+                 max_states: int = 2_000_000) -> None:
+        self.config = config or ModelConfig()
+        self.invariant_names = invariants or list(INVARIANTS)
+        self.max_states = max_states
+
+    def run(self) -> CheckResult:
+        """Explore everything; returns the result (violation included
+        rather than raised, so callers can inspect the trace)."""
+        start = initial_state(self.config)
+        try:
+            check_invariants(start, [], self.invariant_names)
+        except Violation as violation:
+            return CheckResult(1, 0, 0, violation=violation)
+
+        # parent map for trace reconstruction: state -> (parent, label)
+        parents: Dict[ModelState, Tuple[Optional[ModelState], str]] = {start: (None, "")}
+        frontier = deque([(start, 0)])
+        explored = 0
+        transitions = 0
+        max_depth = 0
+        event_counts: Dict[str, int] = {}
+
+        while frontier:
+            state, depth = frontier.popleft()
+            explored += 1
+            max_depth = max(max_depth, depth)
+            if explored > self.max_states:
+                raise RuntimeError(
+                    f"state space exceeded {self.max_states} states; shrink the scope"
+                )
+            for label, successor in enabled_events(state, self.config):
+                transitions += 1
+                kind = label.split("(")[0]
+                event_counts[kind] = event_counts.get(kind, 0) + 1
+                if successor in parents:
+                    continue
+                parents[successor] = (state, label)
+                try:
+                    check_invariants(successor, [], self.invariant_names)
+                except Violation as violation:
+                    violation.trace = self._trace(parents, successor)
+                    return CheckResult(
+                        explored, transitions, depth + 1,
+                        violation=violation, event_counts=event_counts,
+                    )
+                frontier.append((successor, depth + 1))
+
+        return CheckResult(explored, transitions, max_depth, event_counts=event_counts)
+
+    @staticmethod
+    def _trace(parents: Dict[ModelState, Tuple[Optional[ModelState], str]],
+               state: ModelState) -> List[str]:
+        labels: List[str] = []
+        cursor: Optional[ModelState] = state
+        while cursor is not None:
+            parent, label = parents[cursor]
+            if label:
+                labels.append(label)
+            cursor = parent
+        return list(reversed(labels))

@@ -1,0 +1,117 @@
+"""The safety invariants of Sections III-IV, stated over the model.
+
+Each invariant is a predicate over :class:`ModelState`; a checker
+violation carries the event trace that reached the bad state, which is
+the counterexample the Alloy Analyzer would display.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .model import K, ModelState, Phase
+
+__all__ = ["INVARIANTS", "Violation", "check_invariants"]
+
+
+class Violation(AssertionError):
+    """An invariant failed; carries the offending state and trace."""
+
+    def __init__(self, name: str, state: ModelState, trace: List[str]) -> None:
+        super().__init__(
+            f"invariant {name!r} violated after: {' -> '.join(trace) or '<initial>'}"
+        )
+        self.invariant = name
+        self.state = state
+        self.trace = trace
+
+
+def mutual_exclusion(state: ModelState) -> bool:
+    """At most one live client believes it holds the current lock.
+
+    (Preempted clients may still *act* — that is allowed and handled by
+    timestamps — but the queue can only name one head, and only one
+    client may hold that head ref.)
+    """
+    head = state.head()
+    if head is None:
+        return True
+    holders = [
+        c for c in state.clients
+        if c.phase in (Phase.CRITICAL, Phase.PUTTING, Phase.SYNC_READ, Phase.SYNC_WRITE)
+        and c.lock_ref == head
+    ]
+    return len(holders) <= 1
+
+
+def critical_section_invariant(state: ModelState) -> bool:
+    """Section IV-A: if the lockholding client is in a Critical (or
+    Getting) state, the data store is defined as the true value.
+
+    Gets are instantaneous events in this model, so "Critical or
+    Getting" is the CRITICAL phase of the live client whose lockRef
+    heads the queue.  (The SYNC_* phases are the entry protocol still
+    running, and PUTTING is the paper's explicitly-excluded state.)
+    """
+    head = state.head()
+    if head is None:
+        return True
+    for client in state.clients:
+        if client.phase == Phase.CRITICAL and client.lock_ref == head:
+            if not state.defined():
+                return False
+    return True
+
+
+def latest_state_property(state: ModelState) -> bool:
+    """The most recent completed criticalGet observed the true value.
+
+    (Checked on every state, so every observation is checked the moment
+    it happens.)
+    """
+    if state.last_observation is None:
+        return True
+    _client, observed, true = state.last_observation
+    return observed == true
+
+
+def synch_flag_invariant(state: ModelState) -> bool:
+    """Section IV-B: if a client holds a lockRef that is both past
+    (released from the queue) and at least as new as the true
+    timestamp's lockRef, the synchFlag is true.
+
+    This is the guard that forces the next lockholder to synchronize
+    away any traces of the preempted client's writes.
+    """
+    if state.flag[1]:
+        return True
+    true = state.true_write()
+    if true is None:
+        return True
+    true_ref = true.stamp[0] // K
+    for client in state.clients:
+        if client.lock_ref == 0 or client.lock_ref in state.queue:
+            continue
+        if client.phase not in (Phase.CRITICAL, Phase.PUTTING):
+            continue  # dead or exited: no further requests can arrive
+        if client.lock_ref >= true_ref:
+            return False
+    return True
+
+
+INVARIANTS: Dict[str, Callable[[ModelState], bool]] = {
+    "MutualExclusion": mutual_exclusion,
+    "CriticalSectionInvariant": critical_section_invariant,
+    "LatestState": latest_state_property,
+    "SynchFlag": synch_flag_invariant,
+}
+
+
+def check_invariants(
+    state: ModelState,
+    trace: List[str],
+    names: Optional[List[str]] = None,
+) -> None:
+    for name in names or INVARIANTS:
+        if not INVARIANTS[name](state):
+            raise Violation(name, state, trace)

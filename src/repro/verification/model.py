@@ -1,0 +1,356 @@
+"""An executable port of the paper's Alloy model (Section V).
+
+The model is a state-transition system over small bounded scopes.  It
+keeps the paper's modelling decisions:
+
+- the **lock store** is atomic (consensus gives large-grained events):
+  a totally-ordered queue of lockRefs plus a monotone counter;
+- the **data store** is the weak abstraction of Section V-C: the set of
+  attempted quorum writes, each ``pending`` or ``succeeded``; the *true
+  pair* is the attempted write with the greatest vector timestamp; the
+  store is *defined* iff the true pair has succeeded.  A quorum read
+  returns the true pair when the store is defined; while undefined it
+  nondeterministically returns the true (still-pending) pair or the
+  newest succeeded pair — exactly the paper's "may or may not catch the
+  updated value";
+- the **synchFlag** is a stamp-ordered register; forcedRelease stamps
+  it with ``lockRef + δ`` (δ configurable, so checking δ = 0 reproduces
+  the race the paper's δ > 0 rule exists to prevent);
+- **clients** can die at any moment, and a *detector* can forcedRelease
+  the queue head at any moment — failure detection is imperfect by
+  construction, so preempting a live client is always a possible event;
+- *history variables* (the true pair, every criticalGet's observation)
+  are carried in the state so the invariants of Section IV can be
+  stated over them.
+
+Timestamps are integer pairs ``(lockRef_times_K, seq)`` where δ is
+``delta_k / K`` of a lockRef unit, keeping the whole state hashable and
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+__all__ = [
+    "K",
+    "Phase",
+    "Write",
+    "ClientState",
+    "ModelState",
+    "ModelConfig",
+    "initial_state",
+    "enabled_events",
+]
+
+# Resolution of the lockRef axis: stamps are (lock_ref * K + delta_k, seq).
+K = 1000
+
+
+class Phase:
+    """Client phases (the paper's Idle/…/Putting/Getting/Critical)."""
+
+    IDLE = "idle"
+    WAITING = "waiting"  # holds a lockRef, polling acquireLock
+    SYNC_READ = "sync_read"  # grant path: saw flag=True, about to read
+    SYNC_WRITE = "sync_write"  # sync re-write in flight
+    CRITICAL = "critical"
+    PUTTING = "putting"  # a criticalPut awaiting its quorum ack
+    DONE = "done"
+    DEAD = "dead"
+
+
+# An attempted data-store write: stamp, a unique write id, and status.
+@dataclass(frozen=True)
+class Write:
+    stamp: Tuple[int, int]  # (lock_ref * K [+ delta_k], seq)
+    wid: int
+    succeeded: bool
+
+
+@dataclass(frozen=True)
+class ClientState:
+    phase: str = Phase.IDLE
+    lock_ref: int = 0  # 0 = none
+    puts_done: int = 0
+    sync_value_wid: Optional[int] = None  # value captured by the sync read
+    pending_wid: Optional[int] = None  # our in-flight put's write id
+
+
+@dataclass(frozen=True)
+class ModelState:
+    next_ref: int
+    queue: Tuple[int, ...]
+    clients: Tuple[ClientState, ...]
+    writes: Tuple[Write, ...]
+    flag: Tuple[Tuple[int, int], bool]  # (stamp, value) of the register
+    next_wid: int
+    next_seq: int
+    # forcedRelease in progress: (lock_ref, stage) with stage "flagged"
+    # meaning the flag write completed but the dequeue has not.
+    forced: Optional[Tuple[int, str]]
+    # History: the most recent completed criticalGet as (client,
+    # observed_wid, true_wid_at_that_moment).  Only the last one is kept
+    # so the reachable state space stays bounded; the checker examines
+    # every state, so every observation is still checked as it happens.
+    last_observation: Optional[Tuple[int, int, int]]
+
+    # -- derived --------------------------------------------------------------
+
+    def head(self) -> Optional[int]:
+        return self.queue[0] if self.queue else None
+
+    def true_write(self) -> Optional[Write]:
+        if not self.writes:
+            return None
+        return max(self.writes, key=lambda w: w.stamp)
+
+    def defined(self) -> bool:
+        true = self.true_write()
+        return true is None or true.succeeded
+
+    def newest_succeeded(self) -> Optional[Write]:
+        done = [w for w in self.writes if w.succeeded]
+        return max(done, key=lambda w: w.stamp) if done else None
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Scope bounds and the δ parameter."""
+
+    clients: int = 2
+    max_refs: int = 3
+    max_puts_per_client: int = 1
+    delta_k: int = 1  # δ in 1/K lockRef units; 0 reproduces the broken race
+    allow_client_death: bool = True
+    allow_forced_release: bool = True
+
+
+def initial_state(config: ModelConfig) -> ModelState:
+    return ModelState(
+        next_ref=1,
+        queue=(),
+        clients=tuple(ClientState() for _ in range(config.clients)),
+        writes=(),
+        flag=((0, 0), False),
+        next_wid=1,
+        next_seq=1,
+        forced=None,
+        last_observation=None,
+    )
+
+
+# -- event generation ----------------------------------------------------------
+
+
+def _with_client(state: ModelState, index: int, client: ClientState) -> ModelState:
+    clients = list(state.clients)
+    clients[index] = client
+    return replace(state, clients=tuple(clients))
+
+
+def _flag_write(state: ModelState, stamp: Tuple[int, int], value: bool) -> ModelState:
+    """Stamp-ordered register write (ties resolved as no-ops)."""
+    if stamp > state.flag[0]:
+        return replace(state, flag=(stamp, value))
+    return state
+
+
+def _is_holder(state: ModelState, client: ClientState) -> bool:
+    return client.lock_ref != 0 and state.head() == client.lock_ref
+
+
+def enabled_events(
+    state: ModelState, config: ModelConfig
+) -> Iterator[Tuple[str, ModelState]]:
+    """All (label, successor) pairs from ``state``.
+
+    Nondeterminism (the undefined-store read, detector timing, deaths)
+    appears as multiple successors.
+    """
+    yield from _client_events(state, config)
+    yield from _detector_events(state, config)
+
+
+def _client_events(
+    state: ModelState, config: ModelConfig
+) -> Iterator[Tuple[str, ModelState]]:
+    for index, client in enumerate(state.clients):
+        if client.phase == Phase.DEAD:
+            continue
+        label = f"c{index}"
+
+        if config.allow_client_death and client.phase != Phase.IDLE:
+            yield (f"{label}:die", _with_client(state, index, replace(client, phase=Phase.DEAD)))
+
+        if client.phase == Phase.IDLE and state.next_ref <= config.max_refs:
+            ref = state.next_ref
+            next_state = replace(state, next_ref=ref + 1, queue=state.queue + (ref,))
+            yield (
+                f"{label}:createLockRef({ref})",
+                _with_client(next_state, index,
+                             replace(client, phase=Phase.WAITING, lock_ref=ref)),
+            )
+
+        elif client.phase == Phase.WAITING:
+            if _is_holder(state, client):
+                # acquireLock grant: read the flag (atomic quorum read).
+                if state.flag[1]:
+                    yield (
+                        f"{label}:grantNeedsSync",
+                        _with_client(state, index, replace(client, phase=Phase.SYNC_READ)),
+                    )
+                else:
+                    yield (
+                        f"{label}:grant",
+                        _with_client(state, index, replace(client, phase=Phase.CRITICAL)),
+                    )
+            elif client.lock_ref not in state.queue:
+                # Preempted while waiting: learns youAreNoLongerLockHolder.
+                yield (
+                    f"{label}:preemptedWhileWaiting",
+                    _with_client(state, index,
+                                 replace(client, phase=Phase.DONE, lock_ref=0)),
+                )
+
+        elif client.phase == Phase.SYNC_READ and _is_holder(state, client):
+            # The sync's quorum read: nondeterministic while undefined.
+            true = state.true_write()
+            candidates = set()
+            if true is not None:
+                candidates.add(true.wid)
+            if not state.defined():
+                newest = state.newest_succeeded()
+                candidates.add(newest.wid if newest is not None else 0)
+            if not candidates:
+                candidates.add(0)  # empty store: re-write "no value"
+            for wid in sorted(candidates):
+                yield (
+                    f"{label}:syncRead({wid})",
+                    _with_client(state, index,
+                                 replace(client, phase=Phase.SYNC_WRITE,
+                                         sync_value_wid=wid)),
+                )
+
+        elif client.phase == Phase.SYNC_WRITE and _is_holder(state, client):
+            # The sync re-write + flag reset.  The re-write is a quorum
+            # write the client awaits, so it is modeled as succeeding
+            # here (its completion gates the grant); the re-written
+            # value keeps the wid captured by the sync read.
+            stamp = (client.lock_ref * K, 0)
+            write = Write(stamp=stamp, wid=client.sync_value_wid, succeeded=True)
+            next_state = replace(
+                state,
+                writes=state.writes + (write,),
+            )
+            next_state = _flag_write(next_state, (client.lock_ref * K, 1), False)
+            yield (
+                f"{label}:syncWrite",
+                _with_client(next_state, index,
+                             replace(client, phase=Phase.CRITICAL, sync_value_wid=None)),
+            )
+
+        elif client.phase == Phase.CRITICAL:
+            # The client may be the holder, or a *preempted* holder whose
+            # local lock store is stale — both can issue critical ops;
+            # that is the heart of the false-detection scenario.
+            if client.puts_done < config.max_puts_per_client:
+                stamp = (client.lock_ref * K, state.next_seq)
+                write = Write(stamp=stamp, wid=state.next_wid, succeeded=False)
+                next_state = replace(
+                    state,
+                    writes=state.writes + (write,),
+                    next_wid=state.next_wid + 1,
+                    next_seq=state.next_seq + 1,
+                )
+                yield (
+                    f"{label}:putStart(w{write.wid})",
+                    _with_client(next_state, index,
+                                 replace(client, phase=Phase.PUTTING,
+                                         pending_wid=write.wid)),
+                )
+            if _is_holder(state, client):
+                true = state.true_write()
+                observed = true.wid if true is not None else 0
+                true_wid = observed
+                if not state.defined():
+                    # The model *allows* the read; the Latest-State
+                    # invariant is what must prove it never returns a
+                    # wrong value (reads-while-undefined would).
+                    newest = state.newest_succeeded()
+                    stale = newest.wid if newest is not None else 0
+                    for wid in sorted({observed, stale}):
+                        yield (
+                            f"{label}:get({wid})",
+                            _with_client(
+                                replace(state,
+                                        last_observation=(index, wid, true_wid)),
+                                index, client),
+                        )
+                else:
+                    yield (
+                        f"{label}:get({observed})",
+                        _with_client(
+                            replace(state,
+                                    last_observation=(index, observed, true_wid)),
+                            index, client),
+                    )
+                # releaseLock (consensus dequeue).
+                next_queue = tuple(r for r in state.queue if r != client.lock_ref)
+                yield (
+                    f"{label}:release",
+                    _with_client(replace(state, queue=next_queue), index,
+                                 replace(client, phase=Phase.DONE, lock_ref=0)),
+                )
+
+        elif client.phase == Phase.PUTTING:
+            # The quorum write completes (ack received)...
+            writes = tuple(
+                replace(w, succeeded=True) if w.wid == client.pending_wid else w
+                for w in state.writes
+            )
+            yield (
+                f"{label}:putAck(w{client.pending_wid})",
+                _with_client(replace(state, writes=writes), index,
+                             replace(client, phase=Phase.CRITICAL,
+                                     puts_done=client.puts_done + 1,
+                                     pending_wid=None)),
+            )
+            # ...or the client learns it was preempted and gives up; the
+            # attempted write stays pending forever (Section V-C).
+            if not _is_holder(state, client):
+                yield (
+                    f"{label}:putAbandoned",
+                    _with_client(state, index,
+                                 replace(client, phase=Phase.DONE, lock_ref=0,
+                                         pending_wid=None)),
+                )
+
+
+def _detector_events(
+    state: ModelState, config: ModelConfig
+) -> Iterator[Tuple[str, ModelState]]:
+    if not config.allow_forced_release:
+        return
+    if state.forced is not None:
+        ref, stage = state.forced
+        if stage == "flagged":
+            # Stage 2: the dequeue (consensus) after the flag write.
+            next_queue = tuple(r for r in state.queue if r != ref)
+            yield (
+                f"detector:dequeue({ref})",
+                replace(state, queue=next_queue, forced=None),
+            )
+        return
+    head = state.head()
+    if head is None:
+        return
+    # Imperfect failure detection: the detector may preempt the head at
+    # ANY time — dead or alive.  Stage 1: the flag quorum write with the
+    # (head + δ) stamp completes.
+    flagged = _flag_write(state, (head * K + config.delta_k, 0), True)
+    yield (
+        f"detector:flag({head})",
+        replace(flagged, forced=(head, "flagged")),
+    )

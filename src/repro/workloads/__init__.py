@@ -1,0 +1,23 @@
+"""Workload generators: sized values, key ranges, YCSB mixes."""
+
+from .generator import (
+    DEFAULT_VALUE_BYTES,
+    PAPER_BATCH_SIZES,
+    PAPER_DATA_SIZES,
+    KeyRange,
+    SizedValue,
+    value_of_size,
+)
+from .ycsb import PAPER_YCSB_WORKLOADS, YcsbWorkload, ZipfianGenerator
+
+__all__ = [
+    "DEFAULT_VALUE_BYTES",
+    "KeyRange",
+    "PAPER_BATCH_SIZES",
+    "PAPER_DATA_SIZES",
+    "PAPER_YCSB_WORKLOADS",
+    "SizedValue",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "value_of_size",
+]

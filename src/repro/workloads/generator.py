@@ -1,0 +1,93 @@
+"""Workload building blocks: sized values and per-thread key ranges.
+
+The paper's microbenchmarks (Section VIII) use 10-byte values by
+default, vary data size up to 256 KB (Fig. 6b/7b), and give each load
+thread a non-overlapping key range "to prevent collision-induced
+variability".  These helpers reproduce those conventions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+__all__ = [
+    "DEFAULT_VALUE_BYTES",
+    "PAPER_DATA_SIZES",
+    "PAPER_BATCH_SIZES",
+    "SizedValue",
+    "value_of_size",
+    "KeyRange",
+]
+
+
+class SizedValue:
+    """A value that *models* a payload of ``size`` bytes without
+    allocating it — large-value throughput runs would otherwise copy
+    gigabytes of real bytes through the simulator."""
+
+    __slots__ = ("size", "tag")
+
+    def __init__(self, size: int, tag: int = 0) -> None:
+        self.size = size
+        self.tag = tag
+
+    def payload_size(self) -> int:
+        return self.size
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SizedValue)
+            and other.size == self.size
+            and other.tag == self.tag
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SizedValue({self.size}, tag={self.tag})"
+
+DEFAULT_VALUE_BYTES = 10
+
+# Fig. 6b / 7b sweeps (bytes).
+PAPER_DATA_SIZES = {
+    "10B": 10,
+    "1KB": 1_024,
+    "16KB": 16 * 1_024,
+    "64KB": 64 * 1_024,
+    "256KB": 256 * 1_024,
+}
+
+# Fig. 6a / 7a sweeps (criticalPuts per critical section).
+PAPER_BATCH_SIZES = [1, 10, 100, 1000]
+
+
+def value_of_size(size_bytes: int, rng: random.Random = None, tag: int = 0) -> bytes:
+    """A payload of exactly ``size_bytes`` (unique-ish prefix, cheap fill)."""
+    prefix = f"{tag}:".encode()
+    if rng is not None:
+        head = bytes(rng.getrandbits(8) for _ in range(min(8, size_bytes)))
+    else:
+        head = b""
+    body = prefix + head
+    if len(body) >= size_bytes:
+        return body[:size_bytes]
+    return body + b"x" * (size_bytes - len(body))
+
+
+class KeyRange:
+    """A non-overlapping per-thread key range (round-robin reuse)."""
+
+    def __init__(self, thread_index: int, keys_per_thread: int = 64,
+                 prefix: str = "bench") -> None:
+        self.keys: List[str] = [
+            f"{prefix}-t{thread_index}-k{slot}" for slot in range(keys_per_thread)
+        ]
+        self._cursor = 0
+
+    def next_key(self) -> str:
+        key = self.keys[self._cursor % len(self.keys)]
+        self._cursor += 1
+        return key
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.next_key()

@@ -1,0 +1,79 @@
+"""YCSB-style workloads (Appendix X-B2).
+
+The paper runs three mixes over tuples "selected randomly with a
+Zipfian distribution": R (reads only), UR (50% reads / 50% updates) and
+U (updates only), with ~5.5% lock collisions among 10,000 operations.
+``ZipfianGenerator`` is the standard YCSB skewed-key generator
+(Gray et al.'s algorithm, as in the YCSB ``ZipfianGenerator`` class).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["ZipfianGenerator", "YcsbWorkload", "PAPER_YCSB_WORKLOADS"]
+
+ZIPFIAN_CONSTANT = 0.99
+
+
+class ZipfianGenerator:
+    """Draws integers in [0, item_count) with a Zipfian distribution."""
+
+    def __init__(self, item_count: int, rng: random.Random,
+                 constant: float = ZIPFIAN_CONSTANT) -> None:
+        if item_count < 1:
+            raise ValueError("need at least one item")
+        self.item_count = item_count
+        self.rng = rng
+        self.theta = constant
+        self.zeta_n = self._zeta(item_count, constant)
+        self.alpha = 1.0 / (1.0 - constant)
+        self.zeta_2 = self._zeta(2, constant)
+        self.eta = (1 - (2.0 / item_count) ** (1 - constant)) / (
+            1 - self.zeta_2 / self.zeta_n
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """A named read/update mix."""
+
+    name: str
+    read_fraction: float
+
+    def operations(
+        self,
+        op_count: int,
+        key_count: int,
+        rng: random.Random,
+        key_prefix: str = "ycsb",
+    ) -> Iterator[Tuple[str, str]]:
+        """Yield (op, key) pairs: op is 'read' or 'update'."""
+        zipf = ZipfianGenerator(key_count, rng)
+        for _ in range(op_count):
+            op = "read" if rng.random() < self.read_fraction else "update"
+            yield op, f"{key_prefix}-{zipf.next()}"
+
+
+# The three mixes of X-B2.
+PAPER_YCSB_WORKLOADS: List[YcsbWorkload] = [
+    YcsbWorkload("R", read_fraction=1.0),
+    YcsbWorkload("UR", read_fraction=0.5),
+    YcsbWorkload("U", read_fraction=0.0),
+]

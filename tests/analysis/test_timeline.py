@@ -1,0 +1,86 @@
+"""Tests for the message tracer and the bar renderer."""
+
+import pytest
+
+from repro.analysis import Tracer, render_bars
+from repro.core import build_music
+
+
+def test_tracer_captures_lwt_message_pattern():
+    music = build_music()
+    tracer = Tracer(music.network,
+                    kinds={"paxos_prepare", "paxos_propose", "paxos_commit"})
+    client = music.client("Ohio")
+
+    def task():
+        ref = yield from client.create_lock_ref("k")
+        yield from client.acquire_lock_blocking("k", ref)
+        yield from client.release_lock("k", ref)
+
+    music.sim.run_until_complete(music.sim.process(task()))
+    counts = tracer.count_by_kind()
+    # Two LWTs (create + release) x 3 replicas per phase.
+    assert counts["paxos_prepare"] == 6
+    assert counts["paxos_propose"] == 6
+    assert counts["paxos_commit"] == 6
+
+
+def test_tracer_node_filter_and_window():
+    music = build_music()
+    tracer = Tracer(music.network, nodes={"store-2-0"})
+    client = music.client("Ohio")
+
+    def task():
+        yield from client.put("k", "v")
+        yield music.sim.timeout(100.0)
+
+    music.sim.run_until_complete(music.sim.process(task()))
+    assert all(e.src == "store-2-0" or e.dst == "store-2-0" for e in tracer.entries)
+    early = tracer.between(0.0, 1.0)
+    assert all(e.at < 1.0 for e in early)
+
+
+def test_tracer_limit_counts_drops():
+    music = build_music()
+    tracer = Tracer(music.network, limit=2)
+    client = music.client("Ohio")
+
+    def task():
+        yield from client.put("k", "v")
+
+    music.sim.run_until_complete(music.sim.process(task()))
+    assert len(tracer.entries) == 2
+    assert tracer.dropped > 0
+    assert "dropped" in tracer.render()
+
+
+def test_tracer_render_and_clear():
+    music = build_music()
+    tracer = Tracer(music.network)
+    client = music.client("Ohio")
+
+    def task():
+        yield from client.put("k", "v")
+
+    music.sim.run_until_complete(music.sim.process(task()))
+    text = tracer.render(max_lines=3)
+    assert "->" in text
+    tracer.clear()
+    assert tracer.entries == []
+
+
+def test_render_bars_scales_and_formats():
+    text = render_bars("Throughput", {"MUSIC": 17237.0, "Zookeeper": 2497.0},
+                       width=20, unit="w/s")
+    lines = text.splitlines()
+    assert lines[0] == "Throughput"
+    music_bar = lines[2].count("#")
+    zk_bar = lines[3].count("#")
+    assert music_bar == 20
+    assert 1 <= zk_bar < music_bar
+    assert "w/s" in lines[2]
+
+
+def test_render_bars_rejects_empty():
+    with pytest.raises(ValueError):
+        render_bars("x", {})

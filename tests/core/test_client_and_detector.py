@@ -1,0 +1,138 @@
+"""Client retry plumbing and failure-detector lifecycle details."""
+
+import pytest
+
+from repro.core import MusicConfig, build_music
+from repro.core.failure_detector import FailureDetector
+from repro.errors import QuorumUnavailable
+
+
+def run(music, generator, limit=1e9):
+    return music.sim.run_until_complete(music.sim.process(generator), limit=limit)
+
+
+def test_client_requires_replicas():
+    from repro.core import MusicClient
+
+    with pytest.raises(ValueError):
+        MusicClient([], "Ohio")
+
+
+def test_client_skips_failed_replicas_in_rotation():
+    music = build_music()
+    client = music.client("Ohio")
+    music.replica_at("Ohio").crash()
+    music.replica_at("N.California").crash()
+
+    def task():
+        # Only Oregon is alive; ops still succeed through it.
+        yield from client.put("k", "v")
+        value = yield from client.get("k")
+        return value
+
+    assert run(music, task()) == "v"
+
+
+def test_client_exhausts_retries_with_typed_error():
+    music = build_music()
+    music.store.config.rpc_timeout_ms = 200.0
+    music.config.op_retry_delay_ms = 50.0
+    client = music.client("Ohio")
+    for site in music.profile.site_names:
+        music.network.isolate_site(site)
+
+    def task():
+        try:
+            yield from client.create_lock_ref("k")
+        except QuorumUnavailable:
+            return "nack"
+        return "ok"
+
+    assert run(music, task()) == "nack"
+
+
+def test_acquire_blocking_timeout_returns_false_and_is_recoverable():
+    music = build_music()
+    client_a = music.client("Ohio")
+    client_b = music.client("Oregon")
+
+    def task():
+        cs = yield from client_a.critical_section("k")
+        ref_b = yield from client_b.create_lock_ref("k")
+        granted = yield from client_b.acquire_lock_blocking("k", ref_b,
+                                                            timeout_ms=1_000.0)
+        assert granted is False
+        yield from cs.exit()
+        # The same lockRef can still be acquired after the holder left.
+        granted = yield from client_b.acquire_lock_blocking("k", ref_b,
+                                                            timeout_ms=60_000.0)
+        yield from client_b.release_lock("k", ref_b)
+        return granted
+
+    assert run(music, task()) is True
+
+
+def test_detector_stop_halts_preemptions():
+    config = MusicConfig(
+        failure_detection_enabled=False,  # we manage the detector by hand
+        detector_scan_interval_ms=500.0,
+        lease_timeout_ms=1_500.0,
+        orphan_timeout_ms=1_500.0,
+    )
+    music = build_music(music_config=config)
+    detector = FailureDetector(music.replica_at("Ohio"))
+    detector.start()
+    detector.start()  # idempotent
+    client = music.client("Ohio")
+
+    def holder():
+        cs = yield from client.critical_section("k")
+        return cs  # never released
+
+    run(music, holder())
+    detector.stop()
+    detector.stop()  # idempotent
+    music.sim.run(until=music.sim.now + 10_000.0, strict=False)
+    assert detector.preemptions == 0  # stopped before any scan could fire
+
+
+def test_detector_skips_scans_while_its_replica_is_down():
+    config = MusicConfig(
+        failure_detection_enabled=True,
+        detector_scan_interval_ms=500.0,
+        lease_timeout_ms=1_500.0,
+        orphan_timeout_ms=1_500.0,
+    )
+    music = build_music(music_config=config)
+    client = music.client("N.California")
+
+    def holder():
+        cs = yield from client.critical_section("k")
+        return cs
+
+    run(music, holder())
+    for replica in music.replicas:
+        replica.crash()
+    music.sim.run(until=music.sim.now + 5_000.0, strict=False)
+    # Crashed replicas' detectors must not have preempted anything.
+    assert sum(d.preemptions for d in music.detectors) == 0
+    for replica in music.replicas:
+        replica.recover()
+    music.sim.run(until=music.sim.now + 20_000.0, strict=False)
+    assert sum(d.preemptions for d in music.detectors) >= 1
+
+
+def test_get_entry_quorum_fallback_when_local_lags():
+    music = build_music()
+    client = music.client("Ohio")
+    oregon_replica = music.replica_at("Oregon")
+
+    def task():
+        cs = yield from client.critical_section("k")
+        # Oregon's MUSIC replica has no cached lease for this lockRef;
+        # its criticalPut must recover the startTime from the store.
+        done = yield from oregon_replica.critical_put("k", cs.lock_ref, "via-oregon")
+        yield from client.release_lock("k", cs.lock_ref)
+        return done
+
+    assert run(music, task()) is True

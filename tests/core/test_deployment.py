@@ -1,0 +1,70 @@
+"""Tests for the deployment builder itself."""
+
+import pytest
+
+from repro.core import MusicConfig, build_music
+from repro.core.deployment import MusicDeployment
+
+
+def test_default_deployment_shape():
+    music = build_music()
+    assert len(music.replicas) == 3
+    assert len(music.store.replicas) == 3
+    assert {r.site for r in music.replicas} == set(music.profile.site_names)
+    assert music.detectors == []  # detection off by default
+
+
+def test_failure_detection_flag_starts_detectors():
+    music = build_music(failure_detection=True)
+    assert len(music.detectors) == 3
+
+
+def test_nodes_per_site_scales_store():
+    music = build_music(nodes_per_site=3)
+    assert len(music.store.replicas) == 9
+    for site in music.profile.site_names:
+        assert len(music.store.replicas_in_site(site)) == 3
+
+
+def test_replica_at_unknown_site_raises():
+    music = build_music()
+    with pytest.raises(KeyError):
+        music.replica_at("Atlantis")
+
+
+def test_client_ids_are_unique_per_site():
+    music = build_music()
+    a = music.client("Ohio")
+    b = music.client("Ohio")
+    assert a.client_id != b.client_id
+    named = music.client("Ohio", "my-client")
+    assert named.client_id == "my-client"
+
+
+def test_client_prefers_local_replica():
+    music = build_music()
+    client = music.client("Oregon")
+    assert client.replica.site == "Oregon"
+    music.replica_at("Oregon").crash()
+    # Failover order: next nearest (N.California is 24.2ms from Oregon).
+    assert client.replica.site == "N.California"
+
+
+def test_profiles_respected():
+    music = build_music(profile_name="lUsEu")
+    assert "Frankfurt" in music.profile.site_names
+    with pytest.raises(KeyError):
+        build_music(profile_name="not-a-profile")
+
+
+def test_custom_config_propagates():
+    config = MusicConfig(period_ms=123_456.0)
+    music = build_music(music_config=config)
+    assert all(r.config.period_ms == 123_456.0 for r in music.replicas)
+    assert music.client("Ohio").config.period_ms == 123_456.0
+
+
+def test_music_replicas_have_distinct_ids():
+    music = build_music(music_replicas_per_site=2)
+    ids = [r.node_id for r in music.replicas]
+    assert len(ids) == len(set(ids)) == 6

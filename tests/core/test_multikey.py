@@ -1,0 +1,151 @@
+"""Tests for multi-key critical sections (Section III-A extension)."""
+
+import pytest
+
+from repro.core import build_music
+from repro.core.multikey import enter_multi
+from repro.errors import ReproError
+
+
+def run(music, generator, limit=1e9):
+    return music.sim.run_until_complete(music.sim.process(generator), limit=limit)
+
+
+def test_multi_key_read_write_round_trip():
+    music = build_music()
+    client = music.client("Ohio")
+
+    def task():
+        cs = yield from enter_multi(client, ["acct-a", "acct-b"])
+        values = yield from cs.get_all()
+        assert values == {"acct-a": None, "acct-b": None}
+        yield from cs.put_all({"acct-a": 100, "acct-b": 200})
+        values = yield from cs.get_all()
+        yield from cs.exit()
+        return values
+
+    assert run(music, task()) == {"acct-a": 100, "acct-b": 200}
+
+
+def test_locks_acquired_in_lexicographic_order():
+    music = build_music()
+    client = music.client("Ohio")
+    order = []
+    original = client.create_lock_ref
+
+    def spying_create(key):
+        order.append(key)
+        result = yield from original(key)
+        return result
+
+    client.create_lock_ref = spying_create
+
+    def task():
+        cs = yield from enter_multi(client, ["zebra", "alpha", "mid"])
+        yield from cs.exit()
+
+    run(music, task())
+    assert order == ["alpha", "mid", "zebra"]
+
+
+def test_duplicate_keys_deduplicated():
+    music = build_music()
+    client = music.client("Ohio")
+
+    def task():
+        cs = yield from enter_multi(client, ["k", "k", "k"])
+        keys = cs.keys
+        yield from cs.exit()
+        return keys
+
+    assert run(music, task()) == ["k"]
+
+
+def test_empty_key_set_rejected():
+    music = build_music()
+    client = music.client("Ohio")
+
+    def task():
+        yield from enter_multi(client, [])
+
+    with pytest.raises(ValueError):
+        run(music, task())
+
+
+def test_no_deadlock_on_opposite_orders():
+    """Two clients locking {a, b} given in opposite orders: lexicographic
+    acquisition means both eventually complete (no circular wait)."""
+    music = build_music()
+    completed = []
+
+    def worker(site, keys, tag):
+        client = music.client(site)
+        cs = yield from enter_multi(client, keys, timeout_ms=120_000.0)
+        yield music.sim.timeout(200.0)
+        total = yield from cs.get_all()
+        yield from cs.put_all({k: tag for k in total})
+        yield from cs.exit()
+        completed.append(tag)
+
+    procs = [
+        music.sim.process(worker("Ohio", ["a", "b"], "first")),
+        music.sim.process(worker("Oregon", ["b", "a"], "second")),
+    ]
+    for proc in procs:
+        music.sim.run_until_complete(proc, limit=1e8)
+    assert sorted(completed) == ["first", "second"]
+
+
+def test_multi_key_exclusivity_transfers_atomically():
+    """A transfer between two accounts is never observed half-done."""
+    music = build_music()
+    anomalies = []
+
+    def transferrer(site, rounds):
+        client = music.client(site)
+        for _ in range(rounds):
+            cs = yield from enter_multi(client, ["acct-a", "acct-b"],
+                                        timeout_ms=1e7)
+            values = yield from cs.get_all()
+            a = values["acct-a"] if values["acct-a"] is not None else 500
+            b = values["acct-b"] if values["acct-b"] is not None else 500
+            if a + b != 1000:
+                anomalies.append((a, b))
+            yield from cs.put_all({"acct-a": a - 10, "acct-b": b + 10})
+            yield from cs.exit()
+
+    procs = [
+        music.sim.process(transferrer("Ohio", 2)),
+        music.sim.process(transferrer("Oregon", 2)),
+    ]
+    for proc in procs:
+        music.sim.run_until_complete(proc, limit=1e9)
+    assert anomalies == []
+
+    def check():
+        client = music.client("N.California")
+        cs = yield from enter_multi(client, ["acct-a", "acct-b"], timeout_ms=1e7)
+        values = yield from cs.get_all()
+        yield from cs.exit()
+        return values
+
+    values = run(music, check())
+    assert values["acct-a"] + values["acct-b"] == 1000
+    assert values["acct-a"] == 500 - 40
+
+
+def test_unknown_key_access_rejected():
+    music = build_music()
+    client = music.client("Ohio")
+
+    def task():
+        cs = yield from enter_multi(client, ["a"])
+        try:
+            yield from cs.get("b")
+        except KeyError:
+            return "rejected"
+        finally:
+            yield from cs.exit()
+        return "allowed"
+
+    assert run(music, task()) == "rejected"

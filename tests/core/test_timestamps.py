@@ -1,0 +1,97 @@
+"""Property tests for vector timestamps and the v2s mapping (X-A2/X-A3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import MAX_SCALAR, VectorTimestamp, check_overflow, v2s
+
+# The paper's setting: T bounds the critical-section duration, lockRefs
+# are positive integers, time components live in [0, T).
+PERIODS = st.floats(min_value=1.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+def vts(period):
+    """Timestamps in the integer regime Cassandra actually uses.
+
+    Production scalar timestamps are 64-bit integer microseconds; with
+    integer lockRef/T/time, Python's v2s arithmetic is exact, which is
+    what the X-A2 lemma assumes.  (With raw floats, differences below
+    the float64 epsilon of lockRef*T would collapse; the store breaks
+    such exact ties deterministically by writer id.)
+    """
+    return st.builds(
+        VectorTimestamp,
+        lock_ref=st.integers(min_value=0, max_value=10_000_000),
+        time=st.integers(min_value=0, max_value=int(period) - 1),
+    )
+
+
+class TestVectorOrdering:
+    def test_lock_ref_more_significant(self):
+        assert VectorTimestamp(2, 0.0) > VectorTimestamp(1, 999.0)
+
+    def test_time_breaks_equal_refs(self):
+        assert VectorTimestamp(3, 5.0) > VectorTimestamp(3, 4.0)
+
+    def test_negative_lock_ref_rejected(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp(-1, 0.0)
+
+
+class TestV2S:
+    def test_lemma_example_same_ref(self):
+        period = 1000.0
+        t1 = VectorTimestamp(5, 10.0)
+        t2 = VectorTimestamp(5, 20.0)
+        assert v2s(t1, period) < v2s(t2, period)
+
+    def test_lemma_example_earlier_critical_section(self):
+        """t1 from an earlier CS maps lower even with a later time part."""
+        period = 1000.0
+        t1 = VectorTimestamp(4, 999.0)
+        t2 = VectorTimestamp(5, 0.0)
+        assert v2s(t1, period) < v2s(t2, period)
+
+    @given(period=st.integers(min_value=1, max_value=10**7), data=st.data())
+    def test_v2s_preserves_order(self, period, data):
+        """The X-A2 lemma: t1 < t2  <=>  v2s(t1) < v2s(t2)."""
+        t1 = data.draw(vts(period))
+        t2 = data.draw(vts(period))
+        s1, s2 = v2s(t1, period), v2s(t2, period)
+        if t1.lock_ref != t2.lock_ref:
+            # Refs differ: scalar order must follow ref order regardless
+            # of the time components.
+            assert (s1 < s2) == (t1.lock_ref < t2.lock_ref)
+        else:
+            assert (s1 < s2) == (t1.time < t2.time)
+            assert (s1 == s2) == (t1.time == t2.time)
+
+    def test_time_component_must_be_within_period(self):
+        with pytest.raises(ValueError):
+            v2s(VectorTimestamp(1, 1000.0), 1000.0)
+        with pytest.raises(ValueError):
+            v2s(VectorTimestamp(1, -1.0), 1000.0)
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            v2s(VectorTimestamp(1, 0.0), 0.0)
+
+
+class TestOverflow:
+    def test_paper_bound_ten_million_refs(self):
+        """X-A3: ~10 million lockRefs are fine as long as T < 29 years (ms)."""
+        t_29_years_ms = 29 * 365 * 24 * 3600 * 1000
+        check_overflow(10_000_000, t_29_years_ms * 0.9)
+
+    def test_uuid_sized_refs_overflow(self):
+        """The reason UUID lock references are unusable (X-A3)."""
+        with pytest.raises(OverflowError):
+            check_overflow(2**80, 1000.0)
+
+    @given(
+        lock_ref=st.integers(min_value=0, max_value=10_000_000),
+        period=st.floats(min_value=1.0, max_value=1e9),
+    )
+    def test_no_overflow_within_paper_regime(self, lock_ref, period):
+        check_overflow(lock_ref, period)
+        assert v2s(VectorTimestamp(lock_ref, 0.0), period) < MAX_SCALAR

@@ -1,0 +1,51 @@
+"""Shared builders for integration tests."""
+
+from repro.net import PAPER_PROFILES, Network, Node
+from repro.sim import RandomStreams, Simulator
+from repro.store import StoreConfig, build_cluster
+
+
+def make_store(
+    profile_name="lUs",
+    nodes_per_site=1,
+    host_sites=("Ohio",),
+    config=None,
+    seed=11,
+    anti_entropy=False,
+    clock_skew_ms=0.0,
+):
+    """A started store cluster plus one host Node per requested site.
+
+    Returns (sim, network, cluster, hosts) where hosts is a list of
+    plain nodes (for binding coordinators / MUSIC replicas / clients).
+    """
+    profile = PAPER_PROFILES[profile_name]
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    network = Network(sim, profile, streams=streams)
+    config = config or StoreConfig(
+        replication_factor=len(profile.site_names),
+        anti_entropy_enabled=anti_entropy,
+    )
+    config.anti_entropy_enabled = anti_entropy
+    cluster = build_cluster(
+        sim,
+        network,
+        profile,
+        nodes_per_site=nodes_per_site,
+        config=config,
+        streams=streams,
+        clock_skew_ms=clock_skew_ms,
+    )
+    cluster.start()
+    hosts = []
+    for index, site in enumerate(host_sites):
+        host = Node(sim, network, f"host-{index}", site)
+        host.start()
+        hosts.append(host)
+    return sim, network, cluster, hosts
+
+
+def run(sim, generator, limit=1e9):
+    """Run a client generator to completion and return its value."""
+    return sim.run_until_complete(sim.process(generator), limit=limit)

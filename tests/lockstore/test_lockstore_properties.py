@@ -1,0 +1,52 @@
+"""Property test: the lock store against a reference queue model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lockstore import LockStore
+
+from tests import helpers
+
+# Operation sequences: enqueue, dequeue-head, dequeue-missing, peek.
+operations = st.lists(
+    st.sampled_from(["enqueue", "dequeue_head", "dequeue_missing", "peek"]),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=15, deadline=None)
+def test_lock_store_matches_reference_queue(ops):
+    sim, _net, cluster, (host,) = helpers.make_store(seed=13)
+    store = LockStore(cluster.coordinator_for(host), host.clock)
+
+    reference = []  # the model: a FIFO of lock refs
+    next_ref = [1]
+
+    def scenario():
+        for op in ops:
+            if op == "enqueue":
+                ref = yield from store.generate_and_enqueue("k")
+                assert ref == next_ref[0]  # unique, increasing
+                reference.append(ref)
+                next_ref[0] += 1
+            elif op == "dequeue_head" and reference:
+                yield from store.dequeue("k", reference[0])
+                reference.pop(0)
+            elif op == "dequeue_missing":
+                ok = yield from store.dequeue("k", 9999)
+                assert ok is True  # the paper's no-op success
+            elif op == "peek":
+                yield sim.timeout(60.0)  # let the local replica catch up
+                entry = yield from store.peek("k")
+                if reference:
+                    assert entry is not None
+                    assert entry.lock_ref == reference[0]
+                else:
+                    assert entry is None
+        # The final queue agrees with the model exactly.
+        yield sim.timeout(60.0)
+        entries = yield from store.queue("k")
+        assert [e.lock_ref for e in entries] == reference
+
+    helpers.run(sim, scenario())

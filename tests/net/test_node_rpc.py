@@ -1,0 +1,176 @@
+"""Tests for Node dispatch, RPC and quorum waiting."""
+
+import pytest
+
+from repro.errors import QuorumUnavailable, RpcTimeout
+from repro.net import PROFILE_LUS, Network, Node, await_quorum, quorum_size
+from repro.sim import RandomStreams, Simulator
+
+
+class EchoNode(Node):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.on("echo", self._handle_echo)
+        self.on("slow_echo", self._handle_slow_echo)
+        self.on("note", self._handle_note)
+        self.notes = []
+
+    def _handle_echo(self, msg):
+        self.reply(msg, {"echoed": self.payload(msg)})
+
+    def _handle_slow_echo(self, msg):
+        def work():
+            yield self.sim.timeout(50.0)
+            self.reply(msg, self.payload(msg))
+
+        return work()
+
+    def _handle_note(self, msg):
+        self.notes.append(msg.body)
+
+
+def build(sites=(("n1", "Ohio"), ("n2", "N.California"), ("n3", "Oregon"))):
+    sim = Simulator()
+    net = Network(sim, PROFILE_LUS, streams=RandomStreams(1))
+    nodes = {}
+    for node_id, site in sites:
+        node = EchoNode(sim, net, node_id, site)
+        node.start()
+        nodes[node_id] = node
+    return sim, net, nodes
+
+
+def test_rpc_round_trip_costs_one_rtt():
+    sim, _, nodes = build()
+    results = []
+
+    def client():
+        reply = yield from nodes["n1"].call("n2", "echo", "hi")
+        results.append((reply, sim.now))
+
+    sim.process(client())
+    sim.run()
+    reply, elapsed = results[0]
+    assert reply == {"echoed": "hi"}
+    assert elapsed == pytest.approx(53.79, rel=0.02)
+
+
+def test_rpc_generator_handler_runs_concurrently():
+    sim, _, nodes = build()
+    finish_times = {}
+
+    def client(tag):
+        yield from nodes["n1"].call("n2", "slow_echo", tag)
+        finish_times[tag] = sim.now
+
+    sim.process(client("a"))
+    sim.process(client("b"))
+    sim.run()
+    # Both handlers sleep 50ms; concurrent execution means both finish
+    # around one RTT + 50ms, not 2x50ms apart.
+    assert abs(finish_times["a"] - finish_times["b"]) < 1.0
+
+
+def test_rpc_timeout_on_dead_peer():
+    sim, net, nodes = build()
+    net.fail_node("n2")
+    outcomes = []
+
+    def client():
+        try:
+            yield from nodes["n1"].call("n2", "echo", "hi", timeout=500.0)
+        except RpcTimeout:
+            outcomes.append(sim.now)
+
+    sim.process(client())
+    sim.run()
+    assert outcomes == [500.0]
+
+
+def test_one_way_send_dispatches_without_reply():
+    sim, _, nodes = build()
+    nodes["n1"].send("n3", "note", {"k": 1})
+    sim.run()
+    assert len(nodes["n3"].notes) == 1
+
+
+def test_unknown_kind_raises():
+    sim, _, nodes = build()
+    nodes["n1"].send("n2", "mystery", None)
+    with pytest.raises(LookupError, match="mystery"):
+        sim.run()
+
+
+def test_quorum_size():
+    assert quorum_size(1) == 1
+    assert quorum_size(3) == 2
+    assert quorum_size(5) == 3
+    assert quorum_size(9) == 5
+    assert quorum_size(4) == 3
+
+
+def test_await_quorum_returns_at_kth_fastest():
+    """Quorum of 2-of-3 completes at the second-nearest replica's RTT."""
+    sim, _, nodes = build()
+    results = []
+
+    def client():
+        handles = nodes["n1"].call_many(["n1", "n2", "n3"], "echo", "q")
+        replies = yield from await_quorum(sim, handles, needed=2)
+        results.append((len(replies), sim.now))
+
+    sim.process(client())
+    sim.run()
+    count, elapsed = results[0]
+    assert count == 2
+    # n1 is local (fast); n2 is 53.79ms RTT; quorum formed at ~n2's reply,
+    # well before n3's 72.14ms.
+    assert elapsed == pytest.approx(53.79, rel=0.05)
+    assert elapsed < 70.0
+
+
+def test_await_quorum_fails_when_unreachable():
+    sim, net, nodes = build()
+    net.fail_node("n2")
+    net.fail_node("n3")
+    outcomes = []
+
+    def client():
+        handles = nodes["n1"].call_many(["n1", "n2", "n3"], "echo", "q", timeout=300.0)
+        try:
+            yield from await_quorum(sim, handles, needed=2)
+        except QuorumUnavailable:
+            outcomes.append("nack")
+
+    sim.process(client())
+    sim.run()
+    assert outcomes == ["nack"]
+
+
+def test_await_quorum_needed_exceeds_total():
+    sim, _, nodes = build()
+
+    def client():
+        handles = nodes["n1"].call_many(["n2"], "echo", "q")
+        yield from await_quorum(sim, handles, needed=2)
+
+    proc = sim.process(client())
+    with pytest.raises(QuorumUnavailable):
+        sim.run_until_complete(proc)
+
+
+def test_crash_and_recover_roundtrip():
+    sim, _, nodes = build()
+    nodes["n2"].crash()
+    assert nodes["n2"].failed
+    nodes["n2"].recover()
+    assert not nodes["n2"].failed
+    results = []
+
+    def client():
+        reply = yield from nodes["n1"].call("n2", "echo", "back")
+        results.append(reply)
+
+    sim.process(client())
+    sim.run()
+    assert results == [{"echoed": "back"}]

@@ -1,0 +1,70 @@
+"""Tests for sites and the Table II latency profiles."""
+
+import pytest
+
+from repro.net import (
+    LOCAL_RTT_MS,
+    PAPER_PROFILES,
+    PROFILE_L1,
+    PROFILE_LUS,
+    PROFILE_LUSEU,
+    LatencyProfile,
+)
+
+
+def test_paper_profiles_match_table_ii():
+    assert PROFILE_L1.rtt("Ohio", "Ohio-2") == 0.2
+    assert PROFILE_L1.rtt("Ohio", "N.Virginia") == 15.14
+    assert PROFILE_L1.rtt("Ohio-2", "N.Virginia") == 15.14
+
+    assert PROFILE_LUS.rtt("Ohio", "N.California") == 53.79
+    assert PROFILE_LUS.rtt("Ohio", "Oregon") == 72.14
+    assert PROFILE_LUS.rtt("N.California", "Oregon") == 24.2
+
+    assert PROFILE_LUSEU.rtt("Ohio", "N.California") == 53.79
+    assert PROFILE_LUSEU.rtt("Ohio", "Frankfurt") == 100.56
+    assert PROFILE_LUSEU.rtt("N.California", "Frankfurt") == 150.74
+
+
+def test_profiles_registry_contains_all_three():
+    assert set(PAPER_PROFILES) == {"l1", "lUs", "lUsEu"}
+
+
+def test_rtt_symmetric():
+    for profile in PAPER_PROFILES.values():
+        names = profile.site_names
+        for a in names:
+            for b in names:
+                assert profile.rtt(a, b) == profile.rtt(b, a)
+
+
+def test_intra_site_rtt_is_local():
+    assert PROFILE_LUS.rtt("Ohio", "Ohio") == LOCAL_RTT_MS
+
+
+def test_one_way_is_half_rtt():
+    assert PROFILE_LUS.one_way("Ohio", "Oregon") == pytest.approx(72.14 / 2)
+
+
+def test_unknown_pair_raises():
+    with pytest.raises(KeyError):
+        PROFILE_LUS.rtt("Ohio", "Mars")
+
+
+def test_from_triplet_requires_three_sites():
+    with pytest.raises(ValueError):
+        LatencyProfile.from_triplet("bad", ("a", "b"), 1.0, 2.0, 3.0)
+
+
+def test_sorted_by_proximity():
+    order = PROFILE_LUS.sorted_by_proximity("Ohio")
+    assert order == ["Ohio", "N.California", "Oregon"]
+    # Frankfurt-Ohio (100.56) is closer than Frankfurt-N.California (150.74).
+    order = PROFILE_LUSEU.sorted_by_proximity("Frankfurt")
+    assert order == ["Frankfurt", "Ohio", "N.California"]
+
+
+def test_sites_enumeration():
+    sites = PROFILE_LUS.sites()
+    assert [s.name for s in sites] == ["Ohio", "N.California", "Oregon"]
+    assert [s.index for s in sites] == [0, 1, 2]

@@ -1,0 +1,144 @@
+"""Tests for the Management Portal service (Section VII-b)."""
+
+import pytest
+
+from repro.core import MusicConfig, build_music
+from repro.services import PortalBackend, PortalFrontend
+
+
+def build_portal(**kwargs):
+    music = build_music(**kwargs)
+    backends = [
+        PortalBackend(music.replica_at(site), backend_id=f"be-{site}")
+        for site in music.profile.site_names
+    ]
+    frontend = PortalFrontend(music.client("Ohio", "fe-ohio"), backends)
+    return music, backends, frontend
+
+
+def run(music, generator, limit=1e9):
+    return music.sim.run_until_complete(music.sim.process(generator), limit=limit)
+
+
+def test_first_write_establishes_ownership():
+    music, backends, frontend = build_portal()
+
+    def scenario():
+        result = yield from frontend.write("alice", "admin")
+        role = yield from backends[0].read("alice")
+        return result, role
+
+    result, role = run(music, scenario())
+    assert result == "SUCCESS"
+    assert role == "admin"
+    assert backends[0].writes_processed == 1
+
+
+def test_repeat_writes_amortize_the_lock():
+    """Subsequent writes reuse the owner's lockRef: one consensus op for
+    many updates (the point of the ownership paradigm)."""
+    music, backends, frontend = build_portal()
+
+    def scenario():
+        durations = []
+        for index in range(4):
+            start = music.sim.now
+            yield from frontend.write("alice", f"role-{index}")
+            durations.append(music.sim.now - start)
+        return durations
+
+    durations = run(music, scenario())
+    # First write pays createLockRef+acquire (~270ms); later writes are a
+    # single criticalPut (~55ms).
+    assert durations[0] > 200.0
+    assert all(d < 100.0 for d in durations[1:])
+    assert backends[0].ownership_takeovers == 0
+
+
+def test_owner_failure_triggers_takeover_with_latest_state():
+    music, backends, frontend = build_portal()
+
+    def scenario():
+        yield from frontend.write("alice", "admin")
+        owner_before = frontend._owner_cache["alice"]
+        backends[0].fail()
+        result = yield from frontend.write("alice", "operator")
+        owner_after = frontend._owner_cache["alice"]
+        return owner_before, owner_after, result
+
+    owner_before, owner_after, result = run(music, scenario())
+    assert result == "SUCCESS"
+    assert owner_before == "be-Ohio"
+    assert owner_after != owner_before
+    takeover_backend = next(b for b in backends if b.backend_id == owner_after)
+    assert takeover_backend.ownership_takeovers == 1
+
+    def verify():
+        role = yield from takeover_backend.read("alice")
+        return role
+
+    assert run(music, verify()) == "operator"
+
+
+def test_old_owner_cannot_corrupt_after_takeover():
+    """The false-failure-detection scenario at service level: the old
+    owner is alive but was deposed; its cached lockRef must be useless."""
+    music, backends, frontend = build_portal()
+
+    def scenario():
+        yield from frontend.write("alice", "admin")
+        # The front end *believes* be-Ohio failed and routes elsewhere,
+        # but be-Ohio is actually alive (false detection).
+        backends[0].fail()
+        yield from frontend.write("alice", "operator")
+        backends[0].recover()
+        new_owner = next(
+            b for b in backends if b.backend_id == frontend._owner_cache["alice"]
+        )
+        # Old owner tries a direct write with its stale ownership cache...
+        # (recover() cleared it, so simulate the stale path by re-priming)
+        backends[0]._lock_refs["alice"] = 1  # its old, preempted lockRef
+        from repro.errors import NotLockHolder, ReproError
+
+        try:
+            yield from backends[0].client.critical_put("alice", 1, {"role": "EVIL"})
+        except (NotLockHolder, ReproError):
+            pass
+        role = yield from new_owner.read("alice")
+        return role
+
+    assert run(music, scenario()) == "operator"
+
+
+def test_frontend_owner_cache_survives_misses():
+    music, backends, frontend = build_portal()
+
+    def scenario():
+        yield from frontend.write("bob", "viewer")
+        # Drop the cache: the front end re-learns ownership from MUSIC.
+        frontend._owner_cache.clear()
+        yield from frontend.write("bob", "editor")
+        return frontend._owner_cache["bob"]
+
+    owner = run(music, scenario())
+    assert owner == "be-Ohio"
+    # Both writes went to the same backend: no spurious transitions.
+    assert backends[0].ownership_takeovers == 0
+    assert backends[0].writes_processed == 2
+
+
+def test_independent_users_have_independent_owners():
+    music, backends, frontend = build_portal()
+    fe_oregon = PortalFrontend(music.client("Oregon", "fe-oregon"), backends)
+
+    def scenario():
+        yield from frontend.write("alice", "admin")
+        yield from fe_oregon.write("carol", "viewer")
+        return (
+            frontend._owner_cache["alice"],
+            fe_oregon._owner_cache["carol"],
+        )
+
+    alice_owner, carol_owner = run(music, scenario())
+    assert alice_owner == "be-Ohio"  # nearest to the Ohio front end
+    assert carol_owner == "be-Oregon"  # nearest to the Oregon front end

@@ -1,0 +1,102 @@
+"""Tests for hinted handoff (coordinator-side write repair)."""
+
+import pytest
+
+from repro.store import Consistency, StoreConfig
+
+from tests.helpers import make_store, run
+
+
+def config_with_hints(**kwargs):
+    return StoreConfig(
+        replication_factor=3,
+        hinted_handoff_enabled=True,
+        hint_replay_interval_ms=1_000.0,
+        rpc_timeout_ms=500.0,
+        **kwargs,
+    )
+
+
+def test_hint_stored_for_unreachable_replica_and_replayed():
+    sim, net, cluster, (host,) = make_store(config=config_with_hints())
+    coord = cluster.coordinator_for(host)
+    oregon = cluster.replicas_in_site("Oregon")[0]
+
+    def scenario():
+        net.isolate_site("Oregon")
+        yield from coord.put("t", "k", None, {"v": "hinted"}, (1.0, "w"),
+                             consistency=Consistency.QUORUM)
+        # The write succeeded at quorum; the Oregon copy became a hint.
+        yield sim.timeout(1_000.0)  # wait out the RPC timeout
+        assert coord.pending_hints == 1
+        assert oregon.local_row("t", "k", None) is None
+        net.heal_all()
+        yield sim.timeout(5_000.0)  # a few replay rounds
+        return oregon.local_row("t", "k", None)
+
+    row = run(sim, scenario())
+    assert row is not None
+    assert row.visible_values()["v"] == "hinted"
+
+    def after():
+        yield sim.timeout(100.0)
+        return coord.pending_hints
+
+    assert run(sim, after()) == 0
+
+
+def test_hints_disabled_leaves_replica_stale():
+    config = config_with_hints()
+    config.hinted_handoff_enabled = False
+    sim, net, cluster, (host,) = make_store(config=config)
+    coord = cluster.coordinator_for(host)
+    oregon = cluster.replicas_in_site("Oregon")[0]
+
+    def scenario():
+        net.isolate_site("Oregon")
+        yield from coord.put("t", "k", None, {"v": "lost"}, (1.0, "w"))
+        net.heal_all()
+        yield sim.timeout(10_000.0)
+        return oregon.local_row("t", "k", None), coord.pending_hints
+
+    row, hints = run(sim, scenario())
+    assert row is None
+    assert hints == 0
+
+
+def test_hint_replay_is_idempotent_with_newer_data():
+    """A hint that arrives after a newer write must not regress it."""
+    sim, net, cluster, (host,) = make_store(config=config_with_hints())
+    coord = cluster.coordinator_for(host)
+    oregon = cluster.replicas_in_site("Oregon")[0]
+
+    def scenario():
+        net.isolate_site("Oregon")
+        yield from coord.put("t", "k", None, {"v": "old"}, (1.0, "w"))
+        yield sim.timeout(1_000.0)
+        net.heal_all()
+        # A newer write lands everywhere before the hint replays.
+        yield from coord.put("t", "k", None, {"v": "new"}, (2.0, "w"),
+                             consistency=Consistency.ALL)
+        yield sim.timeout(6_000.0)  # hint replays now
+        return oregon.local_row("t", "k", None)
+
+    row = run(sim, scenario())
+    assert row.visible_values()["v"] == "new"  # LWW kept the newer value
+
+
+def test_hint_buffer_is_bounded():
+    config = config_with_hints()
+    config.max_hints_per_coordinator = 3
+    sim, net, cluster, (host,) = make_store(config=config)
+    coord = cluster.coordinator_for(host)
+
+    def scenario():
+        net.isolate_site("Oregon")
+        for index in range(8):
+            yield from coord.put("t", f"k{index}", None, {"v": index},
+                                 (float(index + 1), "w"))
+        yield sim.timeout(1_000.0)
+        return coord.pending_hints
+
+    assert run(sim, scenario()) <= 3

@@ -1,0 +1,22 @@
+"""Every example script must run end to end (they are living docs)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_the_promised_scripts():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} printed nothing"

@@ -1,0 +1,142 @@
+"""Direct unit tests of the invariant predicates on hand-built states."""
+
+from dataclasses import replace
+
+from repro.verification import (
+    K,
+    ClientState,
+    ModelConfig,
+    Phase,
+    Write,
+    initial_state,
+)
+from repro.verification.invariants import (
+    critical_section_invariant,
+    latest_state_property,
+    mutual_exclusion,
+    synch_flag_invariant,
+)
+
+
+def base_state(**overrides):
+    state = initial_state(ModelConfig())
+    return replace(state, **overrides)
+
+
+class TestMutualExclusion:
+    def test_empty_queue_trivially_holds(self):
+        assert mutual_exclusion(base_state())
+
+    def test_single_holder_ok(self):
+        state = base_state(
+            queue=(1,),
+            clients=(ClientState(phase=Phase.CRITICAL, lock_ref=1), ClientState()),
+        )
+        assert mutual_exclusion(state)
+
+    def test_two_holders_of_head_violates(self):
+        state = base_state(
+            queue=(1,),
+            clients=(
+                ClientState(phase=Phase.CRITICAL, lock_ref=1),
+                ClientState(phase=Phase.PUTTING, lock_ref=1),
+            ),
+        )
+        assert not mutual_exclusion(state)
+
+    def test_stale_holder_of_old_ref_allowed(self):
+        """A preempted client still acting under an old ref is exactly
+        what ECF tolerates — not a mutual-exclusion violation."""
+        state = base_state(
+            queue=(2,),
+            clients=(
+                ClientState(phase=Phase.CRITICAL, lock_ref=1),  # zombie
+                ClientState(phase=Phase.CRITICAL, lock_ref=2),
+            ),
+        )
+        assert mutual_exclusion(state)
+
+
+class TestCriticalSectionInvariant:
+    def test_defined_store_ok(self):
+        state = base_state(
+            queue=(1,),
+            clients=(ClientState(phase=Phase.CRITICAL, lock_ref=1), ClientState()),
+            writes=(Write(stamp=(1 * K, 1), wid=1, succeeded=True),),
+        )
+        assert critical_section_invariant(state)
+
+    def test_undefined_store_with_critical_holder_violates(self):
+        state = base_state(
+            queue=(2,),
+            clients=(ClientState(phase=Phase.CRITICAL, lock_ref=2), ClientState()),
+            writes=(Write(stamp=(1 * K, 1), wid=1, succeeded=False),),
+        )
+        assert not critical_section_invariant(state)
+
+    def test_undefined_store_while_holder_putting_allowed(self):
+        """The paper's invariant explicitly excludes the Putting state."""
+        state = base_state(
+            queue=(1,),
+            clients=(
+                ClientState(phase=Phase.PUTTING, lock_ref=1, pending_wid=1),
+                ClientState(),
+            ),
+            writes=(Write(stamp=(1 * K, 1), wid=1, succeeded=False),),
+        )
+        assert critical_section_invariant(state)
+
+
+class TestLatestState:
+    def test_no_observation_holds(self):
+        assert latest_state_property(base_state())
+
+    def test_matching_observation_holds(self):
+        assert latest_state_property(base_state(last_observation=(0, 5, 5)))
+
+    def test_stale_observation_violates(self):
+        assert not latest_state_property(base_state(last_observation=(0, 4, 5)))
+
+
+class TestSynchFlag:
+    def test_flag_true_always_holds(self):
+        state = base_state(
+            flag=((1 * K + 1, 0), True),
+            queue=(),
+            clients=(ClientState(phase=Phase.CRITICAL, lock_ref=1), ClientState()),
+            writes=(Write(stamp=(1 * K, 1), wid=1, succeeded=False),),
+        )
+        assert synch_flag_invariant(state)
+
+    def test_preempted_client_at_true_ref_with_flag_false_violates(self):
+        state = base_state(
+            flag=((0, 0), False),
+            queue=(),  # ref 1 was dequeued
+            clients=(ClientState(phase=Phase.PUTTING, lock_ref=1, pending_wid=1),
+                     ClientState()),
+            writes=(Write(stamp=(1 * K, 1), wid=1, succeeded=False),),
+        )
+        assert not synch_flag_invariant(state)
+
+    def test_preempted_client_below_true_ref_is_harmless(self):
+        """After the next holder synchronized (true ref advanced), the
+        zombie's writes cannot matter and the flag may be false."""
+        state = base_state(
+            flag=((2 * K, 1), False),
+            queue=(2,),
+            clients=(
+                ClientState(phase=Phase.CRITICAL, lock_ref=1),  # zombie
+                ClientState(phase=Phase.CRITICAL, lock_ref=2),
+            ),
+            writes=(Write(stamp=(2 * K, 0), wid=1, succeeded=True),),
+        )
+        assert synch_flag_invariant(state)
+
+    def test_exited_client_is_ignored(self):
+        state = base_state(
+            flag=((0, 0), False),
+            queue=(),
+            clients=(ClientState(phase=Phase.DONE, lock_ref=0), ClientState()),
+            writes=(Write(stamp=(1 * K, 1), wid=1, succeeded=True),),
+        )
+        assert synch_flag_invariant(state)

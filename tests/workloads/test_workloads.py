@@ -1,0 +1,105 @@
+"""Tests for workload generators (values, key ranges, YCSB/Zipfian)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.store import payload_size
+from repro.workloads import (
+    PAPER_BATCH_SIZES,
+    PAPER_DATA_SIZES,
+    PAPER_YCSB_WORKLOADS,
+    KeyRange,
+    SizedValue,
+    YcsbWorkload,
+    ZipfianGenerator,
+    value_of_size,
+)
+
+
+class TestValues:
+    @given(size=st.integers(min_value=1, max_value=100_000))
+    def test_value_of_size_exact(self, size):
+        assert len(value_of_size(size)) == size
+
+    def test_value_of_size_tagged_values_differ(self):
+        assert value_of_size(32, tag=1) != value_of_size(32, tag=2)
+
+    @given(size=st.integers(min_value=0, max_value=10**9))
+    def test_sized_value_models_size_without_allocating(self, size):
+        value = SizedValue(size)
+        assert payload_size(value) == size
+
+    def test_sized_value_equality(self):
+        assert SizedValue(10, tag=1) == SizedValue(10, tag=1)
+        assert SizedValue(10, tag=1) != SizedValue(10, tag=2)
+        assert SizedValue(10) != SizedValue(11)
+
+    def test_paper_sweeps(self):
+        assert PAPER_DATA_SIZES["10B"] == 10
+        assert PAPER_DATA_SIZES["256KB"] == 262_144
+        assert PAPER_BATCH_SIZES == [1, 10, 100, 1000]
+
+
+class TestKeyRanges:
+    def test_ranges_do_not_overlap_across_threads(self):
+        a = set(KeyRange(0, keys_per_thread=32).keys)
+        b = set(KeyRange(1, keys_per_thread=32).keys)
+        assert not (a & b)
+
+    def test_round_robin_reuse(self):
+        kr = KeyRange(0, keys_per_thread=3)
+        seen = [kr.next_key() for _ in range(7)]
+        assert seen[0] == seen[3] == seen[6]
+        assert len(set(seen)) == 3
+
+
+class TestZipfian:
+    def test_values_in_range(self):
+        zipf = ZipfianGenerator(100, random.Random(1))
+        draws = [zipf.next() for _ in range(5_000)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew_favours_low_indices(self):
+        zipf = ZipfianGenerator(1_000, random.Random(2))
+        draws = [zipf.next() for _ in range(20_000)]
+        top_ten = sum(1 for d in draws if d < 10)
+        # With theta=0.99, the ten hottest keys draw a large share.
+        assert top_ten > len(draws) * 0.25
+
+    def test_deterministic_for_seeded_rng(self):
+        a = ZipfianGenerator(50, random.Random(3))
+        b = ZipfianGenerator(50, random.Random(3))
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    def test_single_item(self):
+        zipf = ZipfianGenerator(1, random.Random(4))
+        assert all(zipf.next() == 0 for _ in range(10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, random.Random(5))
+
+
+class TestYcsbMixes:
+    def test_paper_mixes(self):
+        names = {w.name: w.read_fraction for w in PAPER_YCSB_WORKLOADS}
+        assert names == {"R": 1.0, "UR": 0.5, "U": 0.0}
+
+    def test_operations_respect_fractions(self):
+        workload = YcsbWorkload("UR", read_fraction=0.5)
+        ops = list(workload.operations(4_000, 100, random.Random(6)))
+        reads = sum(1 for op, _k in ops if op == "read")
+        assert 0.4 < reads / len(ops) < 0.6
+        assert all(op in ("read", "update") for op, _k in ops)
+
+    def test_update_only(self):
+        workload = YcsbWorkload("U", read_fraction=0.0)
+        ops = list(workload.operations(100, 10, random.Random(7)))
+        assert all(op == "update" for op, _k in ops)
+
+    def test_keys_follow_prefix(self):
+        workload = YcsbWorkload("R", read_fraction=1.0)
+        ops = list(workload.operations(10, 10, random.Random(8), key_prefix="pfx"))
+        assert all(key.startswith("pfx-") for _op, key in ops)
