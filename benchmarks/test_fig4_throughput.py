@@ -1,5 +1,9 @@
 """Fig. 4: peak write-throughput microbenchmarks (Section VIII-b)."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # saturation sweeps take several minutes
+
 
 def test_fig4a_throughput_across_profiles(regenerate):
     result = regenerate("fig4a")

@@ -1,5 +1,9 @@
 """Fig. 6: MUSIC vs Zookeeper, batch-size and data-size sweeps."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # multi-minute throughput sweeps
+
 
 def test_fig6a_throughput_vs_batch_size(regenerate):
     result = regenerate("fig6a")
@@ -11,7 +15,6 @@ def test_fig6a_throughput_vs_batch_size(regenerate):
 def test_fig6b_throughput_vs_data_size(regenerate):
     result = regenerate("fig6b")
     series = result.data["series"]
-    sizes = result.data["sizes"]
     # Zookeeper's leader pipeline collapses at 256KB; MUSIC degrades
     # far more gracefully.
     zk_drop = series["Zookeeper"][0] / series["Zookeeper"][-1]

@@ -1,5 +1,9 @@
 """Fig. 9 / X-B2: YCSB R, UR and U mixes with Zipfian collisions."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # ~20s of simulated YCSB windows
+
 
 def test_fig9_ycsb_workloads(regenerate):
     result = regenerate("fig9")

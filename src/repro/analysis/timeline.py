@@ -11,6 +11,11 @@ exchanges for debugging, documentation or assertions::
 Output (one line per captured send)::
 
       55.39 music-0-0    -> store-1-0     paxos_propose   (64 B)
+
+The tracer consumes the shared :mod:`repro.obs` network-event stream
+(one tap per network, fanned out to all subscribers) rather than
+installing a private tap, so it composes with metrics and span
+recording on the same run.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..net import Network
-from ..net.network import Message
+from ..obs import NetworkEvent, network_events
 
 __all__ = ["Tracer", "TraceEntry"]
 
@@ -50,13 +55,13 @@ class Tracer:
         self.limit = limit
         self.entries: List[TraceEntry] = []
         self.dropped = 0
-        network.add_tap(self._tap)
+        network_events(network).subscribe(self._on_event)
 
-    def _tap(self, message: Message) -> None:
-        if self.kinds is not None and message.kind not in self.kinds:
+    def _on_event(self, event: NetworkEvent) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
             return
         if self.nodes is not None and not (
-            message.src in self.nodes or message.dst in self.nodes
+            event.src in self.nodes or event.dst in self.nodes
         ):
             return
         if len(self.entries) >= self.limit:
@@ -64,11 +69,11 @@ class Tracer:
             return
         self.entries.append(
             TraceEntry(
-                at=message.sent_at,
-                src=message.src,
-                dst=message.dst,
-                kind=message.kind,
-                size_bytes=message.size_bytes,
+                at=event.at,
+                src=event.src,
+                dst=event.dst,
+                kind=event.kind,
+                size_bytes=event.size_bytes,
             )
         )
 

@@ -163,6 +163,15 @@ class CockroachNode(Node):
         """Route a consensus op to the leaseholder of its key's range,
         following redirects while leadership moves."""
         range_id = range_of(op["key"], self.config.range_count)
+        with self.obs.tracer.span(
+            "crdb.propose", node=self.node_id, site=self.site, op=op.get("kind")
+        ):
+            result = yield from self._propose_routed(op, range_id)
+        return result
+
+    def _propose_routed(
+        self, op: Dict[str, Any], range_id: int
+    ) -> Generator[Any, Any, Any]:
         for _attempt in range(6):
             leaseholder = self.leaseholders[range_id]
             if leaseholder == self.node_id:
@@ -193,16 +202,17 @@ class CockroachNode(Node):
 
     def read(self, key: str, txn_id: Optional[int] = None) -> Generator[Any, Any, Any]:
         """A read served at the leaseholder; returns (value, version)."""
-        leaseholder = self.leaseholder_of(key)
-        if leaseholder == self.node_id:
-            result = yield from self._serve_read(key, txn_id)
-            return result
-        if self.network.is_failed(leaseholder):
-            raise NoLeader(f"leaseholder {leaseholder} is down")
-        reply = yield from self.call(
-            leaseholder, "crdb_read", {"key": key, "txn_id": txn_id},
-            timeout=self.config.rpc_timeout_ms,
-        )
+        with self.obs.tracer.span("crdb.read", node=self.node_id, site=self.site):
+            leaseholder = self.leaseholder_of(key)
+            if leaseholder == self.node_id:
+                result = yield from self._serve_read(key, txn_id)
+                return result
+            if self.network.is_failed(leaseholder):
+                raise NoLeader(f"leaseholder {leaseholder} is down")
+            reply = yield from self.call(
+                leaseholder, "crdb_read", {"key": key, "txn_id": txn_id},
+                timeout=self.config.rpc_timeout_ms,
+            )
         if reply.get("conflict"):
             raise TransactionAborted(f"intent conflict on {key!r}")
         return reply["value"], reply["version"]
@@ -261,6 +271,7 @@ class CockroachNode(Node):
         index = state.last_index()
         state.match_index[self.node_id] = index
         self.counters["proposals"] += 1
+        self.obs.metrics.counter("crdb.proposals", node=self.node_id).inc()
 
         followers = [peer for peer in self.peers if peer != self.node_id]
         needed = quorum_size(len(self.peers)) - 1
@@ -274,11 +285,12 @@ class CockroachNode(Node):
                 "entries": [entry],
                 "leader_commit": state.commit_index,
             }
-            handles = self.call_many(
-                followers, "raft_append", body,
-                size_bytes=size, timeout=self.config.rpc_timeout_ms,
-            )
-            replies = yield from await_quorum(self.sim, handles, needed)
+            with self.obs.tracer.span("raft.replicate", node=self.node_id):
+                handles = self.call_many(
+                    followers, "raft_append", body,
+                    size_bytes=size, timeout=self.config.rpc_timeout_ms,
+                )
+                replies = yield from await_quorum(self.sim, handles, needed)
             for dst, reply in replies:
                 if reply.get("term", 0) > state.term:
                     self._step_down(range_id, reply["term"])

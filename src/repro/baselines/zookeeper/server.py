@@ -138,18 +138,21 @@ class ZookeeperServer(Node):
     def submit(self, op: _Op) -> Generator[Any, Any, Any]:
         """Run a write through Zab; returns the apply result (e.g. the
         created path) or raises a ZkError surfaced from apply."""
-        if self.is_leader:
-            result = yield from self._sequence(op)
-        else:
-            if self.network.is_failed(self.leader_id):
-                raise NoLeader("the Zookeeper leader is down")
-            try:
-                result = yield from self.call(
-                    self.leader_id, "zab_submit", op,
-                    size_bytes=op.size_bytes(), timeout=self.config.rpc_timeout_ms,
-                )
-            except RpcTimeout as error:
-                raise NoLeader(f"leader unreachable: {error}") from error
+        with self.obs.tracer.span(
+            "zk.submit", node=self.node_id, site=self.site, op=op.kind
+        ):
+            if self.is_leader:
+                result = yield from self._sequence(op)
+            else:
+                if self.network.is_failed(self.leader_id):
+                    raise NoLeader("the Zookeeper leader is down")
+                try:
+                    result = yield from self.call(
+                        self.leader_id, "zab_submit", op,
+                        size_bytes=op.size_bytes(), timeout=self.config.rpc_timeout_ms,
+                    )
+                except RpcTimeout as error:
+                    raise NoLeader(f"leader unreachable: {error}") from error
         if isinstance(result, dict) and "error" in result:
             error_class = _ERROR_KINDS.get(result.get("error_kind", ""), ZkError)
             raise error_class(result["error"])
@@ -169,20 +172,23 @@ class ZookeeperServer(Node):
             raise NoLeader(f"{self.node_id} is not the leader")
         # The single-threaded commit pipeline: every write in the cluster
         # pays this serialized cost at the leader.
-        yield from self.pipeline.use(
-            self.config.pipeline_base_ms
-            + self.config.pipeline_per_byte_ms * op.size_bytes()
-        )
+        with self.obs.tracer.span("zab.pipeline", node=self.node_id):
+            yield from self.pipeline.use(
+                self.config.pipeline_base_ms
+                + self.config.pipeline_per_byte_ms * op.size_bytes()
+            )
         zxid = next(self._zxid)
         self.counters["proposals"] += 1
+        self.obs.metrics.counter("zk.proposals", node=self.node_id).inc()
         followers = [peer for peer in self.ensemble if peer != self.node_id]
         needed = quorum_size(len(self.ensemble)) - 1  # the leader acks itself
         if needed > 0:
-            handles = self.call_many(
-                followers, "zab_replicate", {"zxid": zxid, "op": op},
-                size_bytes=op.size_bytes(), timeout=self.config.rpc_timeout_ms,
-            )
-            yield from await_quorum(self.sim, handles, needed)
+            with self.obs.tracer.span("zab.replicate", node=self.node_id):
+                handles = self.call_many(
+                    followers, "zab_replicate", {"zxid": zxid, "op": op},
+                    size_bytes=op.size_bytes(), timeout=self.config.rpc_timeout_ms,
+                )
+                yield from await_quorum(self.sim, handles, needed)
         # Commit: apply locally in strict zxid order, then tell followers.
         # A failed apply (e.g. NodeExists) is still a committed log entry
         # — it must reach followers or their ordered apply would stall.

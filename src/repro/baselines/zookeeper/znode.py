@@ -10,7 +10,7 @@ children listing, delete, and exists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["ZNode", "ZNodeTree", "ZkError", "NoNodeError", "NodeExistsError", "BadVersionError"]
 

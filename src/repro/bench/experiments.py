@@ -17,14 +17,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..analysis import CostModel, cdf_points, render_cdf, render_series, render_table, summarize
 from ..baselines.cockroach import build_cockroach
 from ..baselines.mscp import build_mscp
 from ..baselines.zookeeper import build_zookeeper
 from ..core import build_music
-from ..core.deployment import MusicDeployment
 from ..errors import NotLockHolder, ReproError
 from ..net import PAPER_PROFILES, Network
 from ..sim import RandomStreams, Simulator

@@ -11,7 +11,7 @@ per-operation timings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List
 
 from ..errors import ReproError
 from ..sim import Simulator

@@ -23,7 +23,6 @@ from ..baselines.cockroach import CockroachClient, CockroachCriticalSection
 from ..baselines.zookeeper import NodeExistsError, ZkLock, ZkSession
 from ..core.deployment import MusicDeployment
 from ..errors import ReproError
-from ..store import Consistency
 from ..workloads import KeyRange, SizedValue
 
 __all__ = [

@@ -11,7 +11,7 @@ no longer the lockholder.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Generator, List, Optional
 
 from ..errors import (
     LockContention,

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..net import LatencyProfile, Network, PAPER_PROFILES
+from ..obs import NULL_OBS, Observability
 from ..sim import NodeClock, RandomStreams, Simulator
 from ..store import StoreCluster, StoreConfig, build_cluster
 from .client import MusicClient
@@ -33,6 +34,7 @@ class MusicDeployment:
     detectors: List[FailureDetector]
     config: MusicConfig
     streams: RandomStreams
+    obs: object = NULL_OBS
     _client_seq: Dict[str, int] = field(default_factory=dict)
 
     def replica_at(self, site: str) -> MusicReplica:
@@ -66,16 +68,27 @@ def build_music(
     network: Optional[Network] = None,
     replica_class: type = MusicReplica,
     cores: int = 8,
+    obs=None,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
     ``replica_class`` lets baselines substitute a variant replica (e.g.
     MSCP) while keeping the identical deployment shape.
+
+    ``obs=True`` (or an :class:`~repro.obs.Observability` instance)
+    enables metrics and tracing across every node of the deployment;
+    the default is the near-free no-op recorder.
     """
     profile = PAPER_PROFILES[profile_name]
     sim = sim or Simulator()
     streams = RandomStreams(seed)
-    network = network or Network(sim, profile, streams=streams)
+    if obs is True:
+        obs = Observability(sim)
+    if network is None:
+        network = Network(sim, profile, streams=streams, obs=obs)
+    elif obs is not None and not network.obs.enabled:
+        network.obs = obs
+        obs.observe_network(network)
     store_config = store_config or StoreConfig(
         replication_factor=len(profile.site_names)
     )
@@ -115,5 +128,5 @@ def build_music(
     return MusicDeployment(
         sim=sim, network=network, profile=profile, store=store,
         replicas=replicas, detectors=detectors, config=music_config,
-        streams=streams,
+        streams=streams, obs=network.obs,
     )

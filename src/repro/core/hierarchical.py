@@ -25,7 +25,7 @@ This is the same amortization the Management Portal does by ownership
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Generator, Optional, Tuple
+from typing import Any, Deque, Dict, Generator, Optional
 
 from ..errors import NotLockHolder, ReproError
 from ..sim import Event

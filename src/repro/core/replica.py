@@ -79,12 +79,20 @@ class MusicReplica(Node):
         # Optional instrumentation: called as recorder(op_name, elapsed_ms).
         self.op_recorder: Optional[Callable[[str, float], None]] = None
         self.counters = {"forced_releases": 0, "syncs": 0}
+        self._op_histograms: Dict[str, Any] = {}
 
     # -- helpers ------------------------------------------------------------
 
     def _record(self, op: str, started: float) -> None:
         if self.op_recorder is not None:
             self.op_recorder(op, self.sim.now - started)
+        if self.obs.enabled:
+            histogram = self._op_histograms.get(op)
+            if histogram is None:
+                histogram = self._op_histograms[op] = self.obs.metrics.histogram(
+                    "music.op_ms", op=op, node=self.node_id, site=self.site
+                )
+            histogram.observe(self.sim.now - started)
 
     def _stamp(self, lock_ref: float, offset: float) -> Tuple[float, str]:
         """A store stamp carrying v2s((lockRef, offset))."""
@@ -100,7 +108,10 @@ class MusicReplica(Node):
     def create_lock_ref(self, key: str) -> Generator[Any, Any, int]:
         """Mint and enqueue a lockRef, good for one critical section."""
         started = self.sim.now
-        lock_ref = yield from self.lock_store.generate_and_enqueue(key)
+        with self.obs.tracer.span(
+            "music.createLockRef", node=self.node_id, site=self.site, key=key
+        ):
+            lock_ref = yield from self.lock_store.generate_and_enqueue(key)
         check_overflow(lock_ref, self.config.period_ms)
         self._record("createLockRef", started)
         return lock_ref
@@ -111,30 +122,39 @@ class MusicReplica(Node):
         """True once ``lock_ref`` is first in the queue and the data store
         is synchronized; False to poll again; NotLockHolder if preempted."""
         started = self.sim.now
-        entry = yield from self._peek(key)
-        if entry is None or lock_ref > entry.lock_ref:
-            # Not first yet, or the local lock-store replica lags: retry.
-            self._record("acquireLock.peek", started)
-            return False
-        if lock_ref < entry.lock_ref:
-            self._record("acquireLock.peek", started)
-            raise NotLockHolder(f"lockRef {lock_ref} on {key!r} was forcibly released")
+        with self.obs.tracer.span(
+            "music.acquireLock", node=self.node_id, site=self.site, key=key
+        ) as span:
+            entry = yield from self._peek(key)
+            if entry is None or lock_ref > entry.lock_ref:
+                # Not first yet, or the local lock-store replica lags: retry.
+                span.set(granted=False)
+                self._record("acquireLock.peek", started)
+                return False
+            if lock_ref < entry.lock_ref:
+                self._record("acquireLock.peek", started)
+                raise NotLockHolder(f"lockRef {lock_ref} on {key!r} was forcibly released")
 
-        grant_started = self.sim.now
-        flag_rows = yield from self.coordinator.get(
-            self.data_table, key, clustering=SYNCH_ROW, consistency=Consistency.QUORUM
-        )
-        flag = False
-        if SYNCH_ROW in flag_rows:
-            flag = bool(flag_rows[SYNCH_ROW].visible_values().get("flag", False))
-        if flag or self.config.always_sync:
-            yield from self._synchronize(key, lock_ref)
+            grant_started = self.sim.now
+            with self.obs.tracer.span(
+                "music.grant", node=self.node_id, site=self.site, key=key
+            ):
+                flag_rows = yield from self.coordinator.get(
+                    self.data_table, key, clustering=SYNCH_ROW,
+                    consistency=Consistency.QUORUM,
+                )
+                flag = False
+                if SYNCH_ROW in flag_rows:
+                    flag = bool(flag_rows[SYNCH_ROW].visible_values().get("flag", False))
+                if flag or self.config.always_sync:
+                    yield from self._synchronize(key, lock_ref)
 
-        start_time = self.clock.now()
-        yield from self.lock_store.set_start_time(key, lock_ref, start_time)
-        self._leases[(key, lock_ref)] = start_time
-        self._record("acquireLock.grant", grant_started)
-        return True
+                start_time = self.clock.now()
+                yield from self.lock_store.set_start_time(key, lock_ref, start_time)
+            self._leases[(key, lock_ref)] = start_time
+            span.set(granted=True)
+            self._record("acquireLock.grant", grant_started)
+            return True
 
     def _synchronize(self, key: str, lock_ref: int) -> Generator[Any, Any, None]:
         """Re-establish 'the data store is defined as the true value'.
@@ -148,6 +168,13 @@ class MusicReplica(Node):
         propagating writes from the preempted lockholder.
         """
         self.counters["syncs"] += 1
+        self.obs.metrics.counter("music.syncs", node=self.node_id).inc()
+        with self.obs.tracer.span(
+            "music.synchronize", node=self.node_id, site=self.site, key=key
+        ):
+            yield from self._synchronize_body(key, lock_ref)
+
+    def _synchronize_body(self, key: str, lock_ref: int) -> Generator[Any, Any, None]:
         value_rows = yield from self.coordinator.get(
             self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.QUORUM
         )
@@ -168,14 +195,18 @@ class MusicReplica(Node):
     def critical_put(self, key: str, lock_ref: int, value: Any) -> Generator[Any, Any, bool]:
         """Write the latest value of ``key`` as the current lockholder."""
         started = self.sim.now
-        proceed = yield from self._guard(key, lock_ref)
-        if not proceed:
-            return False
-        offset = yield from self._lease_offset(key, lock_ref)
-        yield from self.coordinator.put(
-            self.data_table, key, VALUE_ROW, {"value": value},
-            self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
-        )
+        with self.obs.tracer.span(
+            "music.criticalPut", node=self.node_id, site=self.site, key=key
+        ) as span:
+            proceed = yield from self._guard(key, lock_ref)
+            if not proceed:
+                span.set(guarded=True)
+                return False
+            offset = yield from self._lease_offset(key, lock_ref)
+            yield from self.coordinator.put(
+                self.data_table, key, VALUE_ROW, {"value": value},
+                self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
+            )
         self._record("criticalPut", started)
         return True
 
@@ -183,14 +214,18 @@ class MusicReplica(Node):
         """Delete the value of ``key`` as the lockholder (Section VI's
         criticalPut-companion delete; same guards and stamping)."""
         started = self.sim.now
-        proceed = yield from self._guard(key, lock_ref)
-        if not proceed:
-            return False
-        offset = yield from self._lease_offset(key, lock_ref)
-        yield from self.coordinator.put(
-            self.data_table, key, VALUE_ROW, {"value": None},
-            self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
-        )
+        with self.obs.tracer.span(
+            "music.criticalDelete", node=self.node_id, site=self.site, key=key
+        ) as span:
+            proceed = yield from self._guard(key, lock_ref)
+            if not proceed:
+                span.set(guarded=True)
+                return False
+            offset = yield from self._lease_offset(key, lock_ref)
+            yield from self.coordinator.put(
+                self.data_table, key, VALUE_ROW, {"value": None},
+                self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
+            )
         self._record("criticalDelete", started)
         return True
 
@@ -203,15 +238,19 @@ class MusicReplica(Node):
         caller should retry (local queue not caught up yet).
         """
         started = self.sim.now
-        proceed = yield from self._guard(key, lock_ref)
-        if not proceed:
-            return (False, None)
-        rows = yield from self.coordinator.get(
-            self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.QUORUM
-        )
-        value = None
-        if VALUE_ROW in rows:
-            value = rows[VALUE_ROW].visible_values().get("value")
+        with self.obs.tracer.span(
+            "music.criticalGet", node=self.node_id, site=self.site, key=key
+        ) as span:
+            proceed = yield from self._guard(key, lock_ref)
+            if not proceed:
+                span.set(guarded=True)
+                return (False, None)
+            rows = yield from self.coordinator.get(
+                self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.QUORUM
+            )
+            value = None
+            if VALUE_ROW in rows:
+                value = rows[VALUE_ROW].visible_values().get("value")
         self._record("criticalGet", started)
         return (True, value)
 
@@ -264,10 +303,13 @@ class MusicReplica(Node):
 
     def release_lock(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
         started = self.sim.now
-        entry = yield from self.lock_store.peek(key)
-        if entry is not None and lock_ref < entry.lock_ref:
-            return True  # lock was already forcibly released
-        yield from self.lock_store.dequeue(key, lock_ref)
+        with self.obs.tracer.span(
+            "music.releaseLock", node=self.node_id, site=self.site, key=key
+        ):
+            entry = yield from self.lock_store.peek(key)
+            if entry is not None and lock_ref < entry.lock_ref:
+                return True  # lock was already forcibly released
+            yield from self.lock_store.dequeue(key, lock_ref)
         self._leases.pop((key, lock_ref), None)
         self._record("releaseLock", started)
         return True
@@ -286,12 +328,16 @@ class MusicReplica(Node):
         if entry is not None and lock_ref < entry.lock_ref:
             return True  # previously released
         self.counters["forced_releases"] += 1
-        yield from self.coordinator.put(
-            self.data_table, key, SYNCH_ROW, {"flag": True},
-            self._stamp(lock_ref + self.config.delta, 0.0),
-            consistency=Consistency.QUORUM,
-        )
-        yield from self.lock_store.dequeue(key, lock_ref)
+        self.obs.metrics.counter("music.forced_releases", node=self.node_id).inc()
+        with self.obs.tracer.span(
+            "music.forcedRelease", node=self.node_id, site=self.site, key=key
+        ):
+            yield from self.coordinator.put(
+                self.data_table, key, SYNCH_ROW, {"flag": True},
+                self._stamp(lock_ref + self.config.delta, 0.0),
+                consistency=Consistency.QUORUM,
+            )
+            yield from self.lock_store.dequeue(key, lock_ref)
         return True
 
     # -- unlocked convenience ops (Section VI, "Additional Functions") ---------------

@@ -59,6 +59,7 @@ class LockStore:
         self.clock = clock
         self.max_enqueue_attempts = max_enqueue_attempts
         self._writer = coordinator.node.node_id
+        self.obs = coordinator.node.obs
 
     def _stamp(self) -> Tuple[float, str]:
         """A lock-table stamp in the same units as CAS ballot stamps
@@ -76,36 +77,43 @@ class LockStore:
         queue row in one light-weight transaction, retrying the whole
         sequence if another client won the race.
         """
-        for _attempt in range(self.max_enqueue_attempts):
-            rows = yield from self.coordinator.get(
-                LOCK_TABLE, key, clustering=GUARD_ROW, consistency=Consistency.ONE
-            )
-            guard = None
-            if GUARD_ROW in rows:
-                guard = rows[GUARD_ROW].visible_values().get("value")
-            lock_ref = (guard or 0) + 1
-            stamp = self._stamp()
-            result = yield from self.coordinator.cas(
-                LOCK_TABLE,
-                key,
-                Condition("col_eq", GUARD_ROW, column="value", expected=guard),
-                [
-                    Update(LOCK_TABLE, key, GUARD_ROW, {"value": lock_ref}, stamp),
-                    Update(
-                        LOCK_TABLE,
-                        key,
-                        lock_ref,
-                        {"enqueued_at": self.clock.now(), "startTime": None},
-                        stamp,
-                    ),
-                ],
-                # Lock-table stamps must follow the CAS linearization
-                # order, not coordinator clocks (which may disagree).
-                stamp_with_ballot=True,
-            )
-            if result.applied:
-                return lock_ref
-            # Someone else advanced the guard first; re-read and retry.
+        with self.obs.tracer.span(
+            "lockstore.enqueue", node=self._writer, key=key
+        ) as span:
+            for attempt in range(self.max_enqueue_attempts):
+                rows = yield from self.coordinator.get(
+                    LOCK_TABLE, key, clustering=GUARD_ROW, consistency=Consistency.ONE
+                )
+                guard = None
+                if GUARD_ROW in rows:
+                    guard = rows[GUARD_ROW].visible_values().get("value")
+                lock_ref = (guard or 0) + 1
+                stamp = self._stamp()
+                result = yield from self.coordinator.cas(
+                    LOCK_TABLE,
+                    key,
+                    Condition("col_eq", GUARD_ROW, column="value", expected=guard),
+                    [
+                        Update(LOCK_TABLE, key, GUARD_ROW, {"value": lock_ref}, stamp),
+                        Update(
+                            LOCK_TABLE,
+                            key,
+                            lock_ref,
+                            {"enqueued_at": self.clock.now(), "startTime": None},
+                            stamp,
+                        ),
+                    ],
+                    # Lock-table stamps must follow the CAS linearization
+                    # order, not coordinator clocks (which may disagree).
+                    stamp_with_ballot=True,
+                )
+                if result.applied:
+                    span.set(attempts=attempt + 1)
+                    return lock_ref
+                # Someone else advanced the guard first; re-read and retry.
+                # Guard contention is the LWT contention rate of the
+                # motivation: another client won this key's lockRef race.
+                self.obs.metrics.counter("lockstore.enqueue.conflicts", key=key).inc()
         raise LockContention(
             f"could not enqueue a lockRef for {key!r} after "
             f"{self.max_enqueue_attempts} attempts"
@@ -120,13 +128,17 @@ class LockStore:
         crosses the WAN, so it may lag behind the consensus order — the
         callers treat a stale answer as "retry later", which is safe.
         """
-        rows = yield from self._read_queue(key, Consistency.LOCAL_ONE)
+        with self.obs.tracer.span("lockstore.peek", node=self._writer, key=key):
+            rows = yield from self._read_queue(key, Consistency.LOCAL_ONE)
         return self._first(rows)
 
     def peek_quorum(self, key: str) -> Generator[Any, Any, Optional[LockEntry]]:
         """A quorum peek (used by failure detection to avoid acting on
         an arbitrarily stale local view)."""
-        rows = yield from self._read_queue(key, Consistency.QUORUM)
+        with self.obs.tracer.span(
+            "lockstore.peek", node=self._writer, key=key, quorum=True
+        ):
+            rows = yield from self._read_queue(key, Consistency.QUORUM)
         return self._first(rows)
 
     def queue(self, key: str) -> Generator[Any, Any, list]:
@@ -165,13 +177,14 @@ class LockStore:
         Returns True whether the row was removed now or already gone
         (the paper's "no-op if lockRef not in queue").
         """
-        result = yield from self.coordinator.cas(
-            LOCK_TABLE,
-            key,
-            Condition("exists", clustering=lock_ref),
-            [DeleteRow(LOCK_TABLE, key, lock_ref, self._stamp())],
-            stamp_with_ballot=True,  # the tombstone must beat the insert
-        )
+        with self.obs.tracer.span("lockstore.dequeue", node=self._writer, key=key):
+            result = yield from self.coordinator.cas(
+                LOCK_TABLE,
+                key,
+                Condition("exists", clustering=lock_ref),
+                [DeleteRow(LOCK_TABLE, key, lock_ref, self._stamp())],
+                stamp_with_ballot=True,  # the tombstone must beat the insert
+            )
         # result.applied False means the row was already gone: still a
         # success (the paper's "no-op if lockRef not in queue").
         return True

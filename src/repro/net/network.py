@@ -27,6 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set
 
+from ..obs import NULL_OBS
 from ..sim import Mailbox, RandomStreams, Simulator
 from .topology import LatencyProfile
 
@@ -91,6 +92,7 @@ class Network:
         bandwidth_bytes_per_ms: float = DEFAULT_BANDWIDTH_BYTES_PER_MS,
         loss_probability: float = 0.0,
         jitter_fraction: float = 0.0,
+        obs: Any = None,
     ) -> None:
         self.sim = sim
         self.profile = profile
@@ -104,6 +106,11 @@ class Network:
         self._partitions: Set[frozenset] = set()
         self._message_ids = itertools.count()
         self._taps: list[Callable[[Message], None]] = []
+        # Observability facade inherited by every node registered here
+        # (a NullObservability unless a real one is installed).
+        self.obs = obs or NULL_OBS
+        if self.obs.enabled:
+            self.obs.observe_network(self)
 
     # -- membership ----------------------------------------------------------
 

@@ -43,6 +43,9 @@ class Node:
         self.network = network
         self.node_id = node_id
         self.site = site
+        # Shared observability facade (a no-op unless installed on the
+        # network); protocol code opens spans / bumps counters through it.
+        self.obs = network.obs
         self.inbox = Mailbox(sim, name=f"inbox:{node_id}")
         self.cpu = Resource(sim, capacity=cores, name=f"cpu:{node_id}")
         self.clock = clock or NodeClock(sim)
@@ -104,6 +107,9 @@ class Node:
         reply_event = self.sim.event(name=f"rpc:{kind}:{request_id}")
         self._pending_replies[request_id] = reply_event
         envelope = {"request_id": request_id, "reply_to": self.node_id, "payload": body}
+        trace_context = self.obs.tracer.rpc_context()
+        if trace_context is not None:
+            envelope["trace"] = trace_context
         self.network.send(self.node_id, dst, kind, envelope, size_bytes)
 
         def expire() -> None:
@@ -164,7 +170,13 @@ class Node:
                 raise LookupError(f"{self.node_id}: no handler for {message.kind!r}")
             result = handler(message)
             if result is not None and hasattr(result, "send"):
-                self.sim.process(result, name=f"{self.node_id}:{message.kind}")
+                process = self.sim.process(result, name=f"{self.node_id}:{message.kind}")
+                if self.obs.enabled and isinstance(message.body, dict):
+                    trace_context = message.body.get("trace")
+                    if trace_context is not None:
+                        # Join the handler to the caller's trace so the
+                        # replica-side work nests under the RPC's span.
+                        self.obs.tracer.adopt(process, trace_context)
 
     def _complete_reply(self, message: Message) -> None:
         request_id = message.body["request_id"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Generator, List, Tuple
 
 from ..errors import QuorumUnavailable
-from ..sim import Event, Process, Simulator
+from ..sim import Event, Simulator
 
 __all__ = ["await_quorum", "quorum_size"]
 

@@ -1,0 +1,65 @@
+"""Observability: metrics + sim-clock distributed tracing for the stack.
+
+Usage::
+
+    from repro.obs import Observability
+    from repro.core import build_music
+
+    deployment = build_music(obs=True)          # or obs=Observability(sim)
+    obs = deployment.obs
+    ... run a workload ...
+    print(obs.metrics.render())
+    from repro.obs import phase_breakdown, render_phase_table
+    print(render_phase_table(phase_breakdown(obs.tracer.spans, "music.criticalPut")))
+
+``python -m repro.obs`` regenerates the paper's Fig. 5(b) per-phase
+latency decomposition directly from recorded spans.
+"""
+
+from .export import (
+    PhaseBreakdown,
+    PhaseStats,
+    chrome_trace_events,
+    load_jsonl,
+    phase_breakdown,
+    render_phase_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .netobs import NetworkEvent, NetworkObserver, network_events
+from .recorder import NULL_OBS, NullObservability, Observability
+from .trace import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NetworkEvent",
+    "NetworkObserver",
+    "NullObservability",
+    "NullTracer",
+    "Observability",
+    "PhaseBreakdown",
+    "PhaseStats",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace_events",
+    "load_jsonl",
+    "network_events",
+    "phase_breakdown",
+    "render_phase_table",
+    "write_chrome_trace",
+    "write_jsonl",
+]

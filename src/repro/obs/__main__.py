@@ -1,0 +1,156 @@
+"""The ``python -m repro.obs`` report CLI.
+
+Two modes:
+
+- ``python -m repro.obs fig5b`` (the default) — run a small MUSIC
+  deployment with observability on, drive a single-client critical-
+  section workload, and print the Fig. 5(b)-style per-phase latency
+  table derived purely from the recorded spans.  ``--jsonl`` and
+  ``--chrome`` additionally dump the raw spans for offline analysis or
+  Perfetto.
+- ``python -m repro.obs report spans.jsonl`` — rebuild the phase table
+  from a previously dumped JSONL file.
+
+Example::
+
+    $ python -m repro.obs fig5b --profile lUs --ops 20 --chrome trace.json
+    phase breakdown of 'music.cs' (20 ops, mean end-to-end 186.21 ms)
+    ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter as TallyCounter
+from typing import Any, Generator, List, Optional
+
+from .export import (
+    load_jsonl,
+    phase_breakdown,
+    render_phase_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .trace import SpanRecord
+
+ROOT_SPAN = "music.cs"
+
+
+def _run_fig5b(args: argparse.Namespace) -> int:
+    from ..core import build_music
+    from ..net import PAPER_PROFILES
+
+    if args.profile not in PAPER_PROFILES:
+        print(
+            f"unknown profile {args.profile!r}; choose from "
+            f"{', '.join(sorted(PAPER_PROFILES))}",
+            file=sys.stderr,
+        )
+        return 2
+    deployment = build_music(profile_name=args.profile, obs=True)
+    obs = deployment.obs
+    client = deployment.client(deployment.profile.site_names[0])
+    payload = {"value": "x" * args.value_bytes}
+
+    def workload() -> Generator[Any, Any, None]:
+        for index in range(args.ops):
+            key = f"key-{index % args.keys}"
+            with obs.tracer.span(ROOT_SPAN, node=client.client_id, site=client.site):
+                section = yield from client.critical_section(key)
+                yield from section.put(payload)
+                yield from section.get()
+                yield from section.exit()
+
+    deployment.sim.process(workload(), name="fig5b-client")
+    deployment.sim.run()
+
+    spans = obs.tracer.spans
+    _emit(spans, ROOT_SPAN, args)
+    if args.metrics:
+        print()
+        print(obs.metrics.render())
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    try:
+        spans = load_jsonl(args.spans)
+    except OSError as error:
+        print(f"cannot read {args.spans}: {error}", file=sys.stderr)
+        return 1
+    except (KeyError, ValueError) as error:
+        print(f"{args.spans} is not a span JSONL dump ({error!r})", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"no spans in {args.spans}", file=sys.stderr)
+        return 1
+    root = args.root or _guess_root(spans)
+    _emit(spans, root, args)
+    return 0
+
+
+def _guess_root(spans: List[SpanRecord]) -> str:
+    """The most frequent root-span name (no parent) in the dump."""
+    tally = TallyCounter(span.name for span in spans if span.parent_id is None)
+    if not tally:
+        raise SystemExit("no root spans found; pass --root explicitly")
+    return tally.most_common(1)[0][0]
+
+
+def _emit(spans: List[SpanRecord], root: str, args: argparse.Namespace) -> None:
+    breakdown = phase_breakdown(spans, root, depth=args.depth)
+    print(render_phase_table(breakdown))
+    print(
+        f"coverage: phases account for {100.0 * breakdown.coverage:.1f}% "
+        f"of end-to-end time ({len(spans)} spans recorded)"
+    )
+    jsonl: Optional[str] = getattr(args, "jsonl", None)
+    chrome: Optional[str] = getattr(args, "chrome", None)
+    if jsonl:
+        write_jsonl(spans, jsonl)
+        print(f"spans written to {jsonl}")
+    if chrome:
+        write_chrome_trace(spans, chrome)
+        print(f"chrome trace written to {chrome} (load in Perfetto / about://tracing)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability reports for the MUSIC reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    fig5b = subparsers.add_parser(
+        "fig5b", help="run a traced workload and print the phase breakdown"
+    )
+    fig5b.add_argument("--profile", default="lUs", help="latency profile (default lUs)")
+    fig5b.add_argument("--ops", type=int, default=20, help="critical sections to run")
+    fig5b.add_argument("--keys", type=int, default=4, help="distinct keys to cycle over")
+    fig5b.add_argument("--value-bytes", type=int, default=256, help="payload size")
+    fig5b.add_argument("--depth", type=int, default=1, help="phase nesting depth")
+    fig5b.add_argument("--jsonl", help="also dump spans to this JSONL file")
+    fig5b.add_argument("--chrome", help="also dump a Chrome trace-event JSON file")
+    fig5b.add_argument(
+        "--metrics", action="store_true", help="also print the metrics registry"
+    )
+    fig5b.set_defaults(run=_run_fig5b)
+
+    report = subparsers.add_parser("report", help="rebuild tables from a JSONL dump")
+    report.add_argument("spans", help="a spans.jsonl produced by --jsonl")
+    report.add_argument("--root", help="root span name (default: most frequent root)")
+    report.add_argument("--depth", type=int, default=1, help="phase nesting depth")
+    report.set_defaults(run=_run_report)
+
+    args = parser.parse_args(argv)
+    if not hasattr(args, "run"):  # bare `python -m repro.obs`
+        args = parser.parse_args(["fig5b", *(argv or [])])
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        raise SystemExit(0)

@@ -1,0 +1,261 @@
+"""Trace exporters: JSONL, Chrome trace-event JSON, phase-breakdown tables.
+
+Three consumers, three formats:
+
+- :func:`write_jsonl` / :func:`load_jsonl` — a line-per-span dump that
+  round-trips losslessly, for archival and offline analysis
+  (``python -m repro.obs report spans.jsonl``).
+- :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Chrome
+  trace-event format, loadable in ``about://tracing`` or Perfetto.
+  Sites map to processes and nodes to threads, so a criticalPut renders
+  as a coordinator slice with replica slices under the remote sites,
+  offset by the WAN latencies that produced them.
+- :func:`phase_breakdown` / :func:`render_phase_table` — the paper's
+  Fig. 5(b) decomposition: group the children of each root operation
+  span by name and tabulate mean latency, share of the end-to-end op,
+  and message-level counts, purely from recorded spans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Union
+
+from .trace import SpanRecord
+
+__all__ = [
+    "write_jsonl",
+    "load_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "PhaseStats",
+    "PhaseBreakdown",
+    "phase_breakdown",
+    "render_phase_table",
+]
+
+PathOrFile = Union[str, "IO[str]"]
+
+
+# -- JSONL ---------------------------------------------------------------
+
+
+def write_jsonl(spans: Iterable[SpanRecord], destination: PathOrFile) -> None:
+    """Write one span per line; safe to concatenate across runs."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            write_jsonl(spans, handle)
+        return
+    for span in spans:
+        destination.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+
+
+def load_jsonl(source: PathOrFile) -> List[SpanRecord]:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_jsonl(handle)
+    spans = []
+    for line in source:
+        line = line.strip()
+        if line:
+            spans.append(SpanRecord.from_dict(json.loads(line)))
+    return spans
+
+
+# -- Chrome trace-event JSON ----------------------------------------------
+
+
+def chrome_trace_events(spans: Sequence[SpanRecord]) -> List[dict]:
+    """Spans as Chrome trace events (``ph: "X"`` complete events).
+
+    Sim milliseconds map to trace microseconds.  pid/tid are small
+    integers (strict viewers require numbers); metadata events name
+    them after sites and nodes.
+    """
+    site_ids: Dict[str, int] = {}
+    node_ids: Dict[tuple, int] = {}
+    events: List[dict] = []
+    for span in spans:
+        site = span.site or "-"
+        node = span.node or "-"
+        if site not in site_ids:
+            site_ids[site] = len(site_ids) + 1
+            events.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": site_ids[site],
+                    "tid": 0, "args": {"name": f"site:{site}"},
+                }
+            )
+        pid = site_ids[site]
+        if (site, node) not in node_ids:
+            node_ids[(site, node)] = len(node_ids) + 1
+            events.append(
+                {
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": node_ids[(site, node)], "args": {"name": node},
+                }
+            )
+        args = {"trace_id": span.trace_id, "span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "pid": pid,
+                "tid": node_ids[(site, node)],
+                "ts": span.start_ms * 1000.0,
+                "dur": span.duration_ms * 1000.0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(spans: Sequence[SpanRecord], destination: PathOrFile) -> None:
+    document = {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"}
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return
+    json.dump(document, destination)
+
+
+# -- Fig. 5(b): per-phase latency decomposition ----------------------------
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate timing of one phase across all sampled operations."""
+
+    name: str
+    count: int = 0
+    total_ms: float = 0.0
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+@dataclass
+class PhaseBreakdown:
+    """Phases of a set of root operation spans, Fig. 5(b)-style."""
+
+    root_name: str
+    operations: int
+    end_to_end_total_ms: float
+    phases: List[PhaseStats]
+    unattributed_ms: float
+
+    @property
+    def end_to_end_mean_ms(self) -> float:
+        return self.end_to_end_total_ms / self.operations if self.operations else 0.0
+
+    @property
+    def attributed_total_ms(self) -> float:
+        return sum(phase.total_ms for phase in self.phases)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of end-to-end time the phases account for."""
+        if self.end_to_end_total_ms == 0:
+            return 1.0
+        return self.attributed_total_ms / self.end_to_end_total_ms
+
+
+def phase_breakdown(
+    spans: Sequence[SpanRecord],
+    root_name: str,
+    depth: int = 1,
+    phase_order: Optional[Sequence[str]] = None,
+) -> PhaseBreakdown:
+    """Decompose every span named ``root_name`` into its child phases.
+
+    ``depth=1`` groups direct children by name; ``depth=2`` descends one
+    level further (e.g. splitting an LWT into its Paxos phases).  The
+    decomposition uses only recorded spans — no cooperation from the
+    instrumented code beyond having opened child spans.
+    """
+    by_parent: Dict[int, List[SpanRecord]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            by_parent.setdefault(span.parent_id, []).append(span)
+
+    roots = [span for span in spans if span.name == root_name]
+    phases: Dict[str, PhaseStats] = {}
+    end_to_end = 0.0
+    attributed = 0.0
+
+    def collect(parent: SpanRecord, level: int, prefix: str) -> float:
+        covered = 0.0
+        for child in by_parent.get(parent.span_id, ()):  # same trace by construction
+            if child.trace_id != parent.trace_id:
+                continue
+            label = f"{prefix}{child.name}"
+            if level < depth and by_parent.get(child.span_id):
+                inner = collect(child, level + 1, f"{label}/")
+                remainder = child.duration_ms - inner
+                if remainder > 0:
+                    stats = phases.setdefault(f"{label}/(self)", PhaseStats(f"{label}/(self)"))
+                    stats.count += 1
+                    stats.total_ms += remainder
+                    stats.durations.append(remainder)
+            else:
+                stats = phases.setdefault(label, PhaseStats(label))
+                stats.count += 1
+                stats.total_ms += child.duration_ms
+                stats.durations.append(child.duration_ms)
+            covered += child.duration_ms
+        return covered
+
+    for root in roots:
+        end_to_end += root.duration_ms
+        attributed += collect(root, 1, "")
+
+    ordered = list(phases.values())
+    if phase_order:
+        rank = {name: index for index, name in enumerate(phase_order)}
+        ordered.sort(key=lambda stats: (rank.get(stats.name, len(rank)), stats.name))
+    else:
+        ordered.sort(key=lambda stats: -stats.total_ms)
+
+    return PhaseBreakdown(
+        root_name=root_name,
+        operations=len(roots),
+        end_to_end_total_ms=end_to_end,
+        phases=ordered,
+        unattributed_ms=max(0.0, end_to_end - attributed),
+    )
+
+
+def render_phase_table(breakdown: PhaseBreakdown) -> str:
+    """The ASCII Fig. 5(b) table for one breakdown."""
+    lines = [
+        f"phase breakdown of {breakdown.root_name!r} "
+        f"({breakdown.operations} ops, mean end-to-end "
+        f"{breakdown.end_to_end_mean_ms:.2f} ms)",
+        f"{'phase':<44} {'count':>6} {'mean ms':>9} {'% of op':>8}",
+        "-" * 70,
+    ]
+    total = breakdown.end_to_end_total_ms or 1.0
+    for phase in breakdown.phases:
+        lines.append(
+            f"{phase.name:<44} {phase.count:>6} {phase.mean_ms:>9.2f} "
+            f"{100.0 * phase.total_ms / total:>7.1f}%"
+        )
+    if breakdown.operations:
+        lines.append(
+            f"{'(unattributed)':<44} {'':>6} "
+            f"{breakdown.unattributed_ms / breakdown.operations:>9.2f} "
+            f"{100.0 * breakdown.unattributed_ms / total:>7.1f}%"
+        )
+    lines.append("-" * 70)
+    lines.append(
+        f"{'end-to-end':<44} {breakdown.operations:>6} "
+        f"{breakdown.end_to_end_mean_ms:>9.2f} {100.0:>7.1f}%"
+    )
+    return "\n".join(lines)

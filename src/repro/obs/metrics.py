@@ -1,0 +1,286 @@
+"""Always-on metrics: named counters, gauges and fixed-bucket histograms.
+
+The registry is the first leg of :mod:`repro.obs` (the second is
+tracing): cheap scalar instruments that protocol code updates on every
+operation and reports/benchmarks read afterwards.  Design constraints:
+
+- **Label-scoped**: every instrument carries a small label set (``node``,
+  ``site``, ``op``, ...) so one registry serves a whole deployment and
+  reports can aggregate across nodes or break down per node.
+- **Fixed-bucket histograms**: latencies are recorded into a fixed
+  bucket layout (defaulting to a WAN-latency-shaped exponential grid),
+  giving O(1) observation cost and O(buckets) percentile queries — the
+  same trade Prometheus makes.  Percentiles interpolate linearly inside
+  the winning bucket and are clamped to the observed min/max, so small
+  samples stay sane.
+- **Cheap enough to stay on**: an observation is a bisect plus three
+  adds; instruments are cached by (kind, name, labels) so the hot path
+  never reallocates.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+# Bucket upper bounds (ms) spanning local service times (sub-ms) through
+# multi-RTT WAN critical sections (seconds).  An implicit +inf bucket
+# catches the tail.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 15.0, 25.0, 40.0, 60.0,
+    80.0, 100.0, 150.0, 200.0, 300.0, 450.0, 700.0, 1_000.0, 1_500.0,
+    2_500.0, 5_000.0, 10_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, retries...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, pending hints...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile queries."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(buckets)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        # One count per finite bucket plus the +inf overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]), interpolated within its bucket.
+
+        Exact to within one bucket width; clamped to the observed
+        min/max so estimates never leave the sampled range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        # The rank we want, 1-based, using the nearest-rank definition.
+        rank = max(1, int(round(q * self.count + 0.5)))
+        rank = min(rank, self.count)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index] if index < len(self.bounds) else self.max
+                if upper < lower:  # +inf bucket with max below last bound
+                    upper = lower
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - unreachable when count > 0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+
+_Key = Tuple[str, str, Tuple[Tuple[str, str], ...]]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one deployment."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[_Key, object] = {}
+
+    @staticmethod
+    def _key(kind: str, name: str, labels: Dict[str, str]) -> _Key:
+        return (kind, name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = self._key("counter", name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Counter(name, labels)
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = self._key("gauge", name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Gauge(name, labels)
+        return instrument  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: str
+    ) -> Histogram:
+        key = self._key("histogram", name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Histogram(
+                name, labels, buckets or DEFAULT_LATENCY_BUCKETS_MS
+            )
+        return instrument  # type: ignore[return-value]
+
+    # -- inspection --------------------------------------------------------
+
+    def instruments(self, kind: Optional[str] = None) -> Iterable[object]:
+        for (instrument_kind, _name, _labels), instrument in sorted(
+            self._instruments.items(), key=lambda item: item[0]
+        ):
+            if kind is None or instrument_kind == kind:
+                yield instrument
+
+    def find(self, name: str, **labels: str) -> List[object]:
+        """All instruments with ``name`` whose labels include ``labels``."""
+        wanted = labels.items()
+        return [
+            instrument
+            for (_kind, instrument_name, _labels), instrument in sorted(
+                self._instruments.items(), key=lambda item: item[0]
+            )
+            if instrument_name == name
+            and all(item in instrument.labels.items() for item in wanted)  # type: ignore[attr-defined]
+        ]
+
+    def total(self, name: str, **labels: str) -> float:
+        """Sum of matching counter/gauge values (cross-node aggregation)."""
+        return sum(
+            instrument.value  # type: ignore[attr-defined]
+            for instrument in self.find(name, **labels)
+            if isinstance(instrument, (Counter, Gauge))
+        )
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """A JSON-friendly dump of every instrument."""
+        out: Dict[str, List[Dict[str, object]]] = {
+            "counters": [], "gauges": [], "histograms": []
+        }
+        for instrument in self.instruments("counter"):
+            counter: Counter = instrument  # type: ignore[assignment]
+            out["counters"].append(
+                {"name": counter.name, "labels": counter.labels, "value": counter.value}
+            )
+        for instrument in self.instruments("gauge"):
+            gauge: Gauge = instrument  # type: ignore[assignment]
+            out["gauges"].append(
+                {"name": gauge.name, "labels": gauge.labels, "value": gauge.value}
+            )
+        for instrument in self.instruments("histogram"):
+            histogram: Histogram = instrument  # type: ignore[assignment]
+            out["histograms"].append(
+                {
+                    "name": histogram.name,
+                    "labels": histogram.labels,
+                    "count": histogram.count,
+                    "mean": histogram.mean,
+                    "p50": histogram.p50,
+                    "p95": histogram.p95,
+                    "p99": histogram.p99,
+                    "min": histogram.min if histogram.count else None,
+                    "max": histogram.max if histogram.count else None,
+                }
+            )
+        return out
+
+    def render(self) -> str:
+        """An ASCII report of all instruments (counters, gauges, histograms)."""
+        lines: List[str] = []
+
+        def label_text(labels: Dict[str, str]) -> str:
+            return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+        scalars = [i for i in self.instruments("counter")] + [
+            i for i in self.instruments("gauge")
+        ]
+        if scalars:
+            lines.append(f"{'metric':<34} {'labels':<38} {'value':>12}")
+            lines.append("-" * 86)
+            for instrument in scalars:
+                lines.append(
+                    f"{instrument.name:<34} {label_text(instrument.labels):<38} "  # type: ignore[attr-defined]
+                    f"{instrument.value:>12g}"  # type: ignore[attr-defined]
+                )
+        histograms = list(self.instruments("histogram"))
+        if histograms:
+            if lines:
+                lines.append("")
+            lines.append(
+                f"{'histogram':<28} {'labels':<32} {'count':>7} {'mean':>9} "
+                f"{'p50':>9} {'p95':>9} {'p99':>9}"
+            )
+            lines.append("-" * 108)
+            for instrument in histograms:
+                histogram: Histogram = instrument  # type: ignore[assignment]
+                lines.append(
+                    f"{histogram.name:<28} {label_text(histogram.labels):<32} "
+                    f"{histogram.count:>7} {histogram.mean:>9.3f} "
+                    f"{histogram.p50:>9.3f} {histogram.p95:>9.3f} {histogram.p99:>9.3f}"
+                )
+        return "\n".join(lines)

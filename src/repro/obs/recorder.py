@@ -1,0 +1,110 @@
+"""The observability facade: metrics + tracing bundled per deployment.
+
+Every :class:`~repro.net.Node` reads ``network.obs`` at construction, so
+installing an :class:`Observability` on a network before building nodes
+lights up the whole stack — MUSIC replicas, store replicas, baselines —
+with one switch.  The default is :data:`NULL_OBS`, whose tracer and
+metrics are shared inert objects: the disabled hot path is a couple of
+attribute lookups and no allocation, keeping benchmark numbers
+undisturbed (asserted by ``tests/obs/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .netobs import NetworkEvent, network_events
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["Observability", "NullObservability", "NULL_OBS"]
+
+
+class Observability:
+    """Live metrics registry + tracer for one simulation."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        span_limit: int = 500_000,
+    ) -> None:
+        self.sim = sim
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or Tracer(sim, limit=span_limit)
+
+    def observe_network(self, network) -> None:
+        """Subscribe message counters/bytes to ``network``'s send events."""
+        registry = self.metrics
+        by_kind = {}
+
+        def on_event(event: NetworkEvent) -> None:
+            pair = by_kind.get(event.kind)
+            if pair is None:
+                pair = (
+                    registry.counter("net.messages", kind=event.kind),
+                    registry.counter("net.bytes", kind=event.kind),
+                )
+                by_kind[event.kind] = pair
+            pair[0].inc()
+            pair[1].inc(event.size_bytes)
+
+        network_events(network).subscribe(on_event)
+
+
+class _NullMetrics:
+    """A registry whose instruments are shared and write nowhere."""
+
+    _COUNTER = Counter("null", {})
+    _GAUGE = Gauge("null", {})
+    _HISTOGRAM = Histogram("null", {}, buckets=(1.0,))
+
+    class _Inert:
+        __slots__ = ()
+
+        def inc(self, amount: int = 1) -> None:
+            pass
+
+        def set(self, value: float) -> None:
+            pass
+
+        def add(self, delta: float) -> None:
+            pass
+
+        def observe(self, value: float) -> None:
+            pass
+
+    _INERT = _Inert()
+
+    def counter(self, name: str, **labels):
+        return self._INERT
+
+    def gauge(self, name: str, **labels):
+        return self._INERT
+
+    def histogram(self, name: str, buckets=None, **labels):
+        return self._INERT
+
+    def render(self) -> str:
+        return ""
+
+    def snapshot(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+
+class NullObservability:
+    """The inert default: all instruments are shared no-ops."""
+
+    enabled = False
+    metrics = _NullMetrics()
+    tracer: NullTracer = NULL_TRACER
+
+    def observe_network(self, network) -> None:
+        pass
+
+
+NULL_OBS = NullObservability()

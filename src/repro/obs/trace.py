@@ -1,0 +1,297 @@
+"""Sim-clock-aware distributed tracing.
+
+Spans are stamped in **simulated** milliseconds, so a trace of a
+criticalPut is the paper's own cost breakdown: the root span is the API
+call, its children are the lock-store/data-store operations, and their
+children are the Paxos phases and replica-side handlers — a tree whose
+leaf durations are quorum RTTs and service times.
+
+Context propagation uses two mechanisms:
+
+- **Within a simulation process**: the currently-open span is stored in
+  the process's ``context`` dict (see :class:`repro.sim.Process`), so a
+  span opened anywhere down a ``yield from`` chain parents to the span
+  above it, and a process spawned mid-span inherits that span as its
+  parent.
+- **Across RPCs**: :meth:`Tracer.rpc_context` returns a ``(trace_id,
+  span_id)`` pair that :class:`repro.net.Node` piggybacks on the RPC
+  envelope; the serve loop seeds the handler process's context with it
+  (:meth:`Tracer.adopt`), so replica-side spans join the caller's trace.
+
+The :data:`NULL_TRACER` makes the disabled path near-free: ``span()``
+returns a shared inert object whose enter/exit do nothing, no state is
+written, and nothing is ever retained.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim import Simulator
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+# Keys into Process.context.
+_SPAN_KEY = "obs.span"       # the innermost open local Span
+_REMOTE_KEY = "obs.remote"   # (trace_id, span_id) adopted from an RPC envelope
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span, as exported."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    node: Optional[str]
+    site: Optional[str]
+    start_ms: float
+    end_ms: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "site": self.site,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            name=data["name"],
+            node=data.get("node"),
+            site=data.get("site"),
+            start_ms=data["start_ms"],
+            end_ms=data["end_ms"],
+            attrs=data.get("attrs") or {},
+        )
+
+
+class Span:
+    """A live span; use as a context manager around the timed work."""
+
+    __slots__ = (
+        "tracer", "trace_id", "span_id", "parent_id", "name", "node", "site",
+        "start_ms", "end_ms", "attrs", "_process", "_restore",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        node: Optional[str],
+        site: Optional[str],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.site = site
+        self.start_ms = tracer.sim.now
+        self.end_ms: Optional[float] = None
+        self.attrs = attrs
+        self._process = None
+        self._restore: Any = None
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        process = self.tracer.sim.active_process
+        self._process = process
+        if process is not None:
+            self._restore = process.context.get(_SPAN_KEY)
+            process.context[_SPAN_KEY] = self
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None:
+            self.attrs["error"] = type(exc).__name__
+        self.finish()
+        return False
+
+    def finish(self) -> None:
+        """Close the span at the current simulated time (idempotent)."""
+        if self.end_ms is not None:
+            return
+        self.end_ms = self.tracer.sim.now
+        process = self._process
+        if process is not None and process.context.get(_SPAN_KEY) is self:
+            if self._restore is None:
+                process.context.pop(_SPAN_KEY, None)
+            else:
+                process.context[_SPAN_KEY] = self._restore
+        self.tracer._record(self)
+
+
+class Tracer:
+    """Collects spans from one simulation, bounded in memory."""
+
+    enabled = True
+
+    def __init__(self, sim: Simulator, limit: int = 500_000) -> None:
+        self.sim = sim
+        self.limit = limit
+        self.spans: List[SpanRecord] = []
+        self.dropped = 0
+        self._ids = itertools.count(1)
+
+    # -- span creation ------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        node: Optional[str] = None,
+        site: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span parented to the calling process's current context."""
+        trace_id: Optional[int] = None
+        parent_id: Optional[int] = None
+        process = self.sim.active_process
+        if process is not None and process.context:
+            parent: Optional[Span] = process.context.get(_SPAN_KEY)
+            if parent is not None:
+                trace_id, parent_id = parent.trace_id, parent.span_id
+            else:
+                remote = process.context.get(_REMOTE_KEY)
+                if remote is not None:
+                    trace_id, parent_id = remote
+        if trace_id is None:
+            trace_id = next(self._ids)
+        return Span(self, trace_id, next(self._ids), parent_id, name, node, site, attrs)
+
+    def current_span(self) -> Optional[Span]:
+        process = self.sim.active_process
+        if process is None or not process.context:
+            return None
+        return process.context.get(_SPAN_KEY)
+
+    # -- RPC propagation ----------------------------------------------------
+
+    def rpc_context(self) -> Optional[Tuple[int, int]]:
+        """The ``(trace_id, span_id)`` to piggyback on an outgoing RPC."""
+        process = self.sim.active_process
+        if process is None or not process.context:
+            return None
+        span: Optional[Span] = process.context.get(_SPAN_KEY)
+        if span is not None:
+            return (span.trace_id, span.span_id)
+        return process.context.get(_REMOTE_KEY)
+
+    def adopt(self, process: Any, context: Tuple[int, int]) -> None:
+        """Seed a handler process with a remote parent from an envelope."""
+        process.context[_REMOTE_KEY] = (context[0], context[1])
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        if len(self.spans) >= self.limit:
+            self.dropped += 1
+            return
+        self.spans.append(
+            SpanRecord(
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                name=span.name,
+                node=span.node,
+                site=span.site,
+                start_ms=span.start_ms,
+                end_ms=span.end_ms if span.end_ms is not None else span.start_ms,
+                attrs=span.attrs,
+            )
+        )
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def roots(self, name: Optional[str] = None) -> List[SpanRecord]:
+        return [
+            span
+            for span in self.spans
+            if span.parent_id is None and (name is None or span.name == name)
+        ]
+
+    def children_of(self, span: SpanRecord) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def trace(self, trace_id: int) -> List[SpanRecord]:
+        return sorted(
+            (s for s in self.spans if s.trace_id == trace_id),
+            key=lambda s: (s.start_ms, s.span_id),
+        )
+
+
+class _NullSpan:
+    """The shared inert span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        return False
+
+    def set(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A no-op tracer: the always-installed default."""
+
+    enabled = False
+    spans: List[SpanRecord] = []
+    dropped = 0
+
+    def span(self, _name: str, **_kw: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def rpc_context(self) -> None:
+        return None
+
+    def adopt(self, process: Any, context: Tuple[int, int]) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

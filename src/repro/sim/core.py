@@ -172,7 +172,7 @@ class Process(Event):
     (with the return value) or raises (failing waiters with the error).
     """
 
-    __slots__ = ("generator", "_waiting_on", "_interrupts")
+    __slots__ = ("generator", "context", "_waiting_on", "_interrupts")
 
     def __init__(
         self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str = ""
@@ -181,6 +181,12 @@ class Process(Event):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process target must be a generator, got {generator!r}")
         self.generator = generator
+        # Ambient per-process state (e.g. the current trace span).  A
+        # process spawned while another is executing inherits a snapshot
+        # of the spawner's context, mirroring how a thread-local would
+        # flow across a thread pool.
+        parent = sim.active_process
+        self.context: dict = dict(parent.context) if parent is not None and parent.context else {}
         self._waiting_on: Optional[Event] = None
         self._interrupts: list[Any] = []
         # Kick the generator off on the next scheduler step.
@@ -227,19 +233,27 @@ class Process(Event):
             self._step(lambda: self.generator.throw(event._value))
 
     def _step(self, advance: Callable[[], Any]) -> None:
+        # Mark this process as the one executing so anything it creates
+        # (events, child processes, trace spans) can find its context.
+        sim = self.sim
+        previous = sim.active_process
+        sim.active_process = self
         try:
-            target = advance()
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupt:
-            # The process let an interrupt escape: treat as normal exit.
-            self.succeed(None)
-            return
-        except BaseException as exc:
-            self.fail(exc)
-            return
-        target = self._coerce(target)
+            try:
+                target = advance()
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # The process let an interrupt escape: treat as normal exit.
+                self.succeed(None)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            target = self._coerce(target)
+        finally:
+            sim.active_process = previous
         self._waiting_on = target
         target.add_callback(self._resume)
 
@@ -329,6 +343,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        # The process currently being stepped, if any (used to inherit
+        # per-process context into spawned children).
+        self.active_process: Optional[Process] = None
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._running = False

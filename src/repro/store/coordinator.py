@@ -68,6 +68,7 @@ class StoreCoordinator:
         self.sim = node.sim
         self.ring = ring
         self.config = config
+        self.obs = node.obs
         self._rng = (streams or RandomStreams(0)).stream(f"cas:{node.node_id}")
         self._ballot_round = 0
         self._op_ids = itertools.count(1)
@@ -119,24 +120,29 @@ class StoreCoordinator:
         wise by stamp, so the result is at least as new as any value
         acknowledged at the same consistency.
         """
-        yield from self.node.compute(self.config.coordinator_service_ms)
-        replicas = self.replicas(partition)
-        body = {"table": table, "partition": partition, "clustering": clustering}
-        if consistency in (Consistency.ONE, Consistency.LOCAL_ONE):
-            target = self._nearest(replicas, local_only=consistency == Consistency.LOCAL_ONE)
-            reply = yield from self.node.call(
-                target, "store_read", body, timeout=self.config.rpc_timeout_ms
+        with self.obs.tracer.span(
+            "store.get", node=self.node.node_id, site=self.node.site,
+            consistency=consistency, table=table,
+        ):
+            yield from self.node.compute(self.config.coordinator_service_ms)
+            replicas = self.replicas(partition)
+            body = {"table": table, "partition": partition, "clustering": clustering}
+            if consistency in (Consistency.ONE, Consistency.LOCAL_ONE):
+                target = self._nearest(replicas, local_only=consistency == Consistency.LOCAL_ONE)
+                reply = yield from self.node.call(
+                    target, "store_read", body, timeout=self.config.rpc_timeout_ms
+                )
+                return reply["rows"]
+            needed = self._needed(consistency, len(replicas))
+            handles = self.node.call_many(
+                replicas, "store_read", body, timeout=self.config.rpc_timeout_ms
             )
-            return reply["rows"]
-        needed = self._needed(consistency, len(replicas))
-        handles = self.node.call_many(
-            replicas, "store_read", body, timeout=self.config.rpc_timeout_ms
-        )
-        replies = yield from await_quorum(self.sim, handles, needed)
-        merged = self._merge_replies([reply for _dst, reply in replies])
-        if read_repair or self.config.read_repair_enabled:
-            self._issue_read_repair(table, partition, merged, [dst for dst, _ in replies])
-        return merged
+            replies = yield from await_quorum(self.sim, handles, needed)
+            merged = self._merge_replies([reply for _dst, reply in replies])
+            if read_repair or self.config.read_repair_enabled:
+                self.obs.metrics.counter("store.read_repairs", node=self.node.node_id).inc()
+                self._issue_read_repair(table, partition, merged, [dst for dst, _ in replies])
+            return merged
 
     def scan_keys(
         self, table: str, consistency: str = Consistency.LOCAL_ONE
@@ -219,25 +225,29 @@ class StoreCoordinator:
         yield from self._write([DeleteRow(table, partition, clustering, stamp)], consistency)
 
     def _write(self, updates: List[Any], consistency: str) -> Generator[Any, Any, None]:
-        yield from self.node.compute(self.config.coordinator_service_ms)
         partition = updates[0].partition
         table = updates[0].table
         if any(u.partition != partition or u.table != table for u in updates):
             raise ValueError("a write batch must target a single (table, partition)")
-        replicas = self.replicas(partition)
-        needed = self._needed(consistency, len(replicas))
-        size = sum(update.size_bytes() for update in updates)
-        handles = self.node.call_many(
-            replicas,
-            "store_write",
-            {"updates": updates},
-            size_bytes=size,
-            timeout=self.config.rpc_timeout_ms,
-        )
-        if self.config.hinted_handoff_enabled:
-            for dst, handle in handles:
-                handle.add_callback(self._hint_on_failure(dst, updates))
-        yield from await_quorum(self.sim, handles, needed)
+        with self.obs.tracer.span(
+            "store.put", node=self.node.node_id, site=self.node.site,
+            consistency=consistency, table=table,
+        ):
+            yield from self.node.compute(self.config.coordinator_service_ms)
+            replicas = self.replicas(partition)
+            needed = self._needed(consistency, len(replicas))
+            size = sum(update.size_bytes() for update in updates)
+            handles = self.node.call_many(
+                replicas,
+                "store_write",
+                {"updates": updates},
+                size_bytes=size,
+                timeout=self.config.rpc_timeout_ms,
+            )
+            if self.config.hinted_handoff_enabled:
+                for dst, handle in handles:
+                    handle.add_callback(self._hint_on_failure(dst, updates))
+            yield from await_quorum(self.sim, handles, needed)
 
     # -- hinted handoff ---------------------------------------------------------
 
@@ -312,21 +322,28 @@ class StoreCoordinator:
         # competing coordinator).
         op_id = f"{self.node.node_id}#{next(self._op_ids)}"
         mutation = [replace(update, op_id=op_id) for update in mutation]
-        for attempt in range(attempts):
-            outcome = yield from self._cas_once(
-                table, partition, condition, mutation, stamp_with_ballot
-            )
-            if outcome is not None:
-                return outcome
-            # Exponential backoff (capped): under heavy contention a
-            # partition admits roughly one winner per LWT duration, so
-            # losers must spread out across many such rounds.
-            backoff = min(
-                self.config.cas_backoff_base_ms * (2 ** min(attempt, 7)),
-                2_000.0,
-            )
-            backoff += self._rng.uniform(0.0, self.config.cas_backoff_jitter_ms)
-            yield self.sim.timeout(backoff)
+        with self.obs.tracer.span(
+            "store.cas", node=self.node.node_id, site=self.node.site, table=table
+        ) as span:
+            for attempt in range(attempts):
+                outcome = yield from self._cas_once(
+                    table, partition, condition, mutation, stamp_with_ballot
+                )
+                if outcome is not None:
+                    span.set(attempts=attempt + 1, applied=outcome.applied)
+                    return outcome
+                self.obs.metrics.counter(
+                    "store.cas.ballot_losses", node=self.node.node_id
+                ).inc()
+                # Exponential backoff (capped): under heavy contention a
+                # partition admits roughly one winner per LWT duration, so
+                # losers must spread out across many such rounds.
+                backoff = min(
+                    self.config.cas_backoff_base_ms * (2 ** min(attempt, 7)),
+                    2_000.0,
+                )
+                backoff += self._rng.uniform(0.0, self.config.cas_backoff_jitter_ms)
+                yield self.sim.timeout(backoff)
         raise LockContention(
             f"cas on {table}/{partition} lost {attempts} ballot races"
         )
@@ -350,10 +367,11 @@ class StoreCoordinator:
             mutation = [replace(update, stamp=stamp) for update in mutation]
 
         # Round 1: prepare/promise.
-        handles = self.node.call_many(
-            replicas, "paxos_prepare", target, timeout=self.config.rpc_timeout_ms
-        )
-        replies = yield from await_quorum(self.sim, handles, needed)
+        with self.obs.tracer.span("paxos.prepare", node=self.node.node_id):
+            handles = self.node.call_many(
+                replicas, "paxos_prepare", target, timeout=self.config.rpc_timeout_ms
+            )
+            replies = yield from await_quorum(self.sim, handles, needed)
         promises = [reply for _dst, reply in replies]
         if not all(promise["promised"] for promise in promises):
             # Lost the ballot race: advance past the winning ballot, or
@@ -377,11 +395,12 @@ class StoreCoordinator:
             return None
 
         # Round 2: read phase — evaluate the condition on merged quorum state.
-        read_body = {"table": table, "partition": partition, "clustering": "__all_rows__"}
-        read_handles = self.node.call_many(
-            replicas, "store_read", read_body, timeout=self.config.rpc_timeout_ms
-        )
-        read_replies = yield from await_quorum(self.sim, read_handles, needed)
+        with self.obs.tracer.span("paxos.read", node=self.node.node_id):
+            read_body = {"table": table, "partition": partition, "clustering": "__all_rows__"}
+            read_handles = self.node.call_many(
+                replicas, "store_read", read_body, timeout=self.config.rpc_timeout_ms
+            )
+            read_replies = yield from await_quorum(self.sim, read_handles, needed)
         current = self._merge_replies([reply for _dst, reply in read_replies])
         if self._mutation_visible(current, mutation):
             # A competing coordinator completed our partially-accepted
@@ -408,14 +427,15 @@ class StoreCoordinator:
     ) -> Generator[Any, Any, bool]:
         size = sum(update.size_bytes() for update in mutation)
         body = dict(target, mutation=mutation)
-        handles = self.node.call_many(
-            replicas,
-            "paxos_propose",
-            body,
-            size_bytes=size,
-            timeout=self.config.rpc_timeout_ms,
-        )
-        replies = yield from await_quorum(self.sim, handles, needed)
+        with self.obs.tracer.span("paxos.propose", node=self.node.node_id):
+            handles = self.node.call_many(
+                replicas,
+                "paxos_propose",
+                body,
+                size_bytes=size,
+                timeout=self.config.rpc_timeout_ms,
+            )
+            replies = yield from await_quorum(self.sim, handles, needed)
         rejections = [reply for _dst, reply in replies if not reply["accepted"]]
         if rejections:
             self._observe_ballots(rejections)
@@ -430,10 +450,11 @@ class StoreCoordinator:
         mutation: Mutation,
     ) -> Generator[Any, Any, None]:
         body = dict(target, mutation=mutation)
-        handles = self.node.call_many(
-            replicas, "paxos_commit", body, timeout=self.config.rpc_timeout_ms
-        )
-        yield from await_quorum(self.sim, handles, needed)
+        with self.obs.tracer.span("paxos.commit", node=self.node.node_id):
+            handles = self.node.call_many(
+                replicas, "paxos_commit", body, timeout=self.config.rpc_timeout_ms
+            )
+            yield from await_quorum(self.sim, handles, needed)
 
     @staticmethod
     def _same_mutation(left: Mutation, right: Mutation) -> bool:

@@ -27,7 +27,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..sim import NodeClock, Simulator
 from ..net import Message, Network, Node
 from .config import StoreConfig
-from .types import Ballot, Mutation, Partition, Row, Stamp, payload_size
+from .types import Ballot, Mutation, Partition, Row, payload_size
 
 __all__ = ["StorageReplica", "PaxosState"]
 
@@ -117,29 +117,31 @@ class StorageReplica(Node):
 
     def _handle_read(self, msg: Message) -> Generator[Any, Any, None]:
         body = self.payload(msg)
-        yield from self.compute(self.config.read_service_ms)
-        self.counters["reads"] += 1
-        clustering = body.get("clustering", ALL_ROWS)
-        if clustering == ALL_ROWS:
-            rows = self.local_rows(body["table"], body["partition"])
-        else:
-            row = self.local_row(body["table"], body["partition"], clustering)
-            rows = {clustering: row} if row is not None else {}
-        reply = {"rows": rows}
-        size = sum(payload_size(row.visible_values()) for row in rows.values()) + 32
-        self.reply(msg, reply, size_bytes=size)
+        with self.obs.tracer.span("replica.read", node=self.node_id, site=self.site):
+            yield from self.compute(self.config.read_service_ms)
+            self.counters["reads"] += 1
+            clustering = body.get("clustering", ALL_ROWS)
+            if clustering == ALL_ROWS:
+                rows = self.local_rows(body["table"], body["partition"])
+            else:
+                row = self.local_row(body["table"], body["partition"], clustering)
+                rows = {clustering: row} if row is not None else {}
+            reply = {"rows": rows}
+            size = sum(payload_size(row.visible_values()) for row in rows.values()) + 32
+            self.reply(msg, reply, size_bytes=size)
 
     def _handle_write(self, msg: Message) -> Generator[Any, Any, None]:
         body = self.payload(msg)
-        updates = body["updates"]
-        size = sum(update.size_bytes() for update in updates)
-        yield from self.compute(
-            self.config.write_service_ms + self.config.value_service_ms(size)
-        )
-        self.counters["writes"] += 1
-        for update in updates:
-            self.apply_update(update)
-        self.reply(msg, {"ok": True})
+        with self.obs.tracer.span("replica.write", node=self.node_id, site=self.site):
+            updates = body["updates"]
+            size = sum(update.size_bytes() for update in updates)
+            yield from self.compute(
+                self.config.write_service_ms + self.config.value_service_ms(size)
+            )
+            self.counters["writes"] += 1
+            for update in updates:
+                self.apply_update(update)
+            self.reply(msg, {"ok": True})
 
     def _handle_scan(self, msg: Message) -> Generator[Any, Any, None]:
         """List the live partition keys of a table (an eventual read)."""
@@ -160,51 +162,62 @@ class StorageReplica(Node):
 
     def _handle_paxos_prepare(self, msg: Message) -> Generator[Any, Any, None]:
         body = self.payload(msg)
-        yield from self.compute(self.config.paxos_phase_service_ms)
-        self.counters["paxos_prepares"] += 1
-        state = self._paxos_state(body["table"], body["partition"])
-        ballot: Ballot = body["ballot"]
-        if state.promised is not None and ballot <= state.promised:
-            self.reply(msg, {"promised": False, "promised_ballot": state.promised})
-            return
-        state.promised = ballot
-        in_progress = None
-        if state.accepted is not None:
-            accepted_ballot, mutation = state.accepted
-            in_progress = (accepted_ballot, mutation)
-        self.reply(msg, {"promised": True, "in_progress": in_progress})
+        with self.obs.tracer.span(
+            "replica.paxos_prepare", node=self.node_id, site=self.site
+        ) as span:
+            yield from self.compute(self.config.paxos_phase_service_ms)
+            self.counters["paxos_prepares"] += 1
+            state = self._paxos_state(body["table"], body["partition"])
+            ballot: Ballot = body["ballot"]
+            if state.promised is not None and ballot <= state.promised:
+                span.set(promised=False)
+                self.reply(msg, {"promised": False, "promised_ballot": state.promised})
+                return
+            state.promised = ballot
+            in_progress = None
+            if state.accepted is not None:
+                accepted_ballot, mutation = state.accepted
+                in_progress = (accepted_ballot, mutation)
+            self.reply(msg, {"promised": True, "in_progress": in_progress})
 
     def _handle_paxos_propose(self, msg: Message) -> Generator[Any, Any, None]:
         body = self.payload(msg)
-        mutation: Mutation = body["mutation"]
-        size = sum(update.size_bytes() for update in mutation)
-        yield from self.compute(
-            self.config.paxos_phase_service_ms + self.config.value_service_ms(size)
-        )
-        state = self._paxos_state(body["table"], body["partition"])
-        ballot: Ballot = body["ballot"]
-        if state.promised is not None and ballot < state.promised:
-            self.reply(msg, {"accepted": False, "promised_ballot": state.promised})
-            return
-        state.promised = ballot
-        state.accepted = (ballot, mutation)
-        self.reply(msg, {"accepted": True})
+        with self.obs.tracer.span(
+            "replica.paxos_propose", node=self.node_id, site=self.site
+        ) as span:
+            mutation: Mutation = body["mutation"]
+            size = sum(update.size_bytes() for update in mutation)
+            yield from self.compute(
+                self.config.paxos_phase_service_ms + self.config.value_service_ms(size)
+            )
+            state = self._paxos_state(body["table"], body["partition"])
+            ballot: Ballot = body["ballot"]
+            if state.promised is not None and ballot < state.promised:
+                span.set(accepted=False)
+                self.reply(msg, {"accepted": False, "promised_ballot": state.promised})
+                return
+            state.promised = ballot
+            state.accepted = (ballot, mutation)
+            self.reply(msg, {"accepted": True})
 
     def _handle_paxos_commit(self, msg: Message) -> Generator[Any, Any, None]:
         body = self.payload(msg)
-        yield from self.compute(self.config.paxos_phase_service_ms)
-        self.counters["paxos_commits"] += 1
-        state = self._paxos_state(body["table"], body["partition"])
-        ballot: Ballot = body["ballot"]
-        mutation: Mutation = body["mutation"]
-        # Apply the decided mutation (idempotent thanks to LWW stamps).
-        if ballot not in state.committed_ballots:
-            state.committed_ballots.add(ballot)
-            for update in mutation:
-                self.apply_update(update)
-        if state.accepted is not None and state.accepted[0] <= ballot:
-            state.accepted = None
-        self.reply(msg, {"ok": True})
+        with self.obs.tracer.span(
+            "replica.paxos_commit", node=self.node_id, site=self.site
+        ):
+            yield from self.compute(self.config.paxos_phase_service_ms)
+            self.counters["paxos_commits"] += 1
+            state = self._paxos_state(body["table"], body["partition"])
+            ballot: Ballot = body["ballot"]
+            mutation: Mutation = body["mutation"]
+            # Apply the decided mutation (idempotent thanks to LWW stamps).
+            if ballot not in state.committed_ballots:
+                state.committed_ballots.add(ballot)
+                for update in mutation:
+                    self.apply_update(update)
+            if state.accepted is not None and state.accepted[0] <= ballot:
+                state.accepted = None
+            self.reply(msg, {"ok": True})
 
     # -- anti-entropy -----------------------------------------------------------
 

@@ -31,7 +31,7 @@ exact.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import FrozenSet, Iterator, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 __all__ = [
     "K",

@@ -9,7 +9,6 @@ U (updates only), with ~5.5% lock collisions among 10,000 operations.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple

@@ -1,0 +1,129 @@
+"""Tracing: local nesting, RPC-hop propagation, bounded recording."""
+
+from repro.net import PAPER_PROFILES, Network, Node
+from repro.obs import Observability
+from repro.sim import RandomStreams, Simulator
+
+
+def _build(profile_name="lUs"):
+    sim = Simulator()
+    obs = Observability(sim)
+    network = Network(
+        sim, PAPER_PROFILES[profile_name], streams=RandomStreams(3), obs=obs
+    )
+    return sim, obs, network
+
+
+def test_local_spans_nest_via_process_context():
+    sim, obs, _network = _build()
+
+    def work():
+        with obs.tracer.span("outer", node="n") as outer:
+            yield sim.timeout(5.0)
+            with obs.tracer.span("inner", node="n") as inner:
+                yield sim.timeout(3.0)
+            assert inner.trace_id == outer.trace_id
+        yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.process(work()))
+    spans = {span.name: span for span in obs.tracer.spans}
+    assert spans["inner"].parent_id == spans["outer"].span_id
+    assert spans["outer"].parent_id is None
+    assert spans["inner"].duration_ms == 3.0
+    assert spans["outer"].duration_ms == 8.0
+
+
+def test_sibling_spans_share_parent_after_restore():
+    sim, obs, _network = _build()
+
+    def work():
+        with obs.tracer.span("root"):
+            with obs.tracer.span("first"):
+                yield sim.timeout(1.0)
+            with obs.tracer.span("second"):
+                yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.process(work()))
+    spans = {span.name: span for span in obs.tracer.spans}
+    assert spans["first"].parent_id == spans["root"].span_id
+    assert spans["second"].parent_id == spans["root"].span_id
+
+
+def test_span_crosses_simulated_rpc_hop():
+    """A handler-side span on another node joins the caller's trace."""
+    sim, obs, network = _build()
+    caller = Node(sim, network, "caller", "Ohio")
+    server = Node(sim, network, "server", "Oregon")
+
+    def handle(message):
+        with obs.tracer.span("server.work", node="server", site="Oregon"):
+            yield from server.compute(2.0)
+            server.reply(message, {"ok": True})
+
+    server.on("work", handle)
+    caller.start()
+    server.start()
+
+    def client():
+        with obs.tracer.span("client.op", node="caller", site="Ohio"):
+            reply = yield from caller.call("server", "work", {})
+            assert reply["ok"]
+
+    sim.run_until_complete(sim.process(client()))
+    spans = {span.name: span for span in obs.tracer.spans}
+    client_span = spans["client.op"]
+    server_span = spans["server.work"]
+    # Same trace, parented across the hop, and strictly nested in time.
+    assert server_span.trace_id == client_span.trace_id
+    assert server_span.parent_id == client_span.span_id
+    assert client_span.start_ms < server_span.start_ms
+    assert server_span.end_ms < client_span.end_ms
+    # The server-side span sits on the remote node, one WAN hop away.
+    assert server_span.node == "server"
+    assert server_span.duration_ms >= 2.0
+
+
+def test_error_annotation_and_idempotent_finish():
+    sim, obs, _network = _build()
+
+    def work():
+        try:
+            with obs.tracer.span("fails"):
+                yield sim.timeout(1.0)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+
+    sim.run_until_complete(sim.process(work()))
+    (span,) = obs.tracer.spans
+    assert span.attrs["error"] == "RuntimeError"
+
+
+def test_span_limit_drops_not_grows():
+    sim = Simulator()
+    obs = Observability(sim, span_limit=2)
+
+    def work():
+        for _ in range(5):
+            with obs.tracer.span("s"):
+                yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.process(work()))
+    assert len(obs.tracer.spans) == 2
+    assert obs.tracer.dropped == 3
+
+
+def test_tracer_queries():
+    sim, obs, _network = _build()
+
+    def work():
+        with obs.tracer.span("root"):
+            with obs.tracer.span("child"):
+                yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.process(work()))
+    (root,) = obs.tracer.roots("root")
+    (child,) = obs.tracer.children_of(root)
+    assert child.name == "child"
+    trace = obs.tracer.trace(root.trace_id)
+    assert [span.name for span in trace] == ["root", "child"]
