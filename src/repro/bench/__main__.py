@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.bench              # run everything
     python -m repro.bench fig6a fig8   # run a subset
+    python -m repro.bench --audit fig8 # with the runtime ECF auditor on
     REPRO_BENCH_SCALE=full python -m repro.bench
 """
 
@@ -12,10 +13,15 @@ from __future__ import annotations
 import sys
 import time
 
+from . import experiments
 from .experiments import EXPERIMENTS, run_experiment, scale_name
 
 
 def main(argv: list) -> int:
+    if "--audit" in argv:
+        argv = [arg for arg in argv if arg != "--audit"]
+        experiments.AUDIT = True
+        print("runtime ECF auditor: ON (every MUSIC deployment is checked)")
     if argv and argv[0] in ("--list", "-l"):
         for exp_id, func in EXPERIMENTS.items():
             doc = (func.__doc__ or "").strip().splitlines()[0]

@@ -40,6 +40,11 @@ from .workers import (
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "scale_name"]
 
+# When set (python -m repro.bench --audit), every MUSIC deployment an
+# experiment builds gets the runtime ECF auditor attached and each
+# experiment gains an "ECF audit clean" shape check.
+AUDIT = False
+
 
 @dataclass
 class ExperimentResult:
@@ -975,4 +980,38 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 def run_experiment(exp_id: str) -> ExperimentResult:
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; have {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[exp_id]()
+    if not AUDIT:
+        return EXPERIMENTS[exp_id]()
+
+    # Swap the module-level build_music for an auditing wrapper so every
+    # MUSIC deployment the experiment builds (including the builder
+    # tuples like ("MUSIC", build_music)) is checked online.  Audit
+    # emission never yields or consumes randomness, so the measured
+    # numbers are the same as an un-audited run.
+    auditors: List[Any] = []
+    original = build_music
+
+    def audited_build_music(*args: Any, **kwargs: Any):
+        kwargs.setdefault("audit", True)
+        deployment = original(*args, **kwargs)
+        if deployment.auditor is not None:
+            auditors.append(deployment.auditor)
+        return deployment
+
+    globals()["build_music"] = audited_build_music
+    try:
+        result = EXPERIMENTS[exp_id]()
+    finally:
+        globals()["build_music"] = original
+
+    violations = sum(sum(a.violation_counts.values()) for a in auditors)
+    result.checks.append(
+        (
+            f"ECF audit clean ({len(auditors)} audited deployment(s))",
+            violations == 0,
+        )
+    )
+    if violations:
+        reports = [a.render_report() for a in auditors if not a.clean]
+        result.text += "\n\n" + "\n\n".join(reports)
+    return result

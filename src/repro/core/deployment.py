@@ -35,6 +35,7 @@ class MusicDeployment:
     config: MusicConfig
     streams: RandomStreams
     obs: object = NULL_OBS
+    auditor: Optional[object] = None
     _client_seq: Dict[str, int] = field(default_factory=dict)
 
     def replica_at(self, site: str) -> MusicReplica:
@@ -69,6 +70,7 @@ def build_music(
     replica_class: type = MusicReplica,
     cores: int = 8,
     obs=None,
+    audit: bool = False,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
@@ -78,10 +80,17 @@ def build_music(
     ``obs=True`` (or an :class:`~repro.obs.Observability` instance)
     enables metrics and tracing across every node of the deployment;
     the default is the near-free no-op recorder.
+
+    ``audit=True`` additionally attaches a runtime
+    :class:`~repro.obs.ECFAuditor` (implying ``obs``): every ECF-relevant
+    operation is checked online and the auditor is returned as
+    ``deployment.auditor``.
     """
     profile = PAPER_PROFILES[profile_name]
     sim = sim or Simulator()
     streams = RandomStreams(seed)
+    if audit and obs is None:
+        obs = True
     if obs is True:
         obs = Observability(sim)
     if network is None:
@@ -96,6 +105,14 @@ def build_music(
     music_config = music_config or MusicConfig()
     if failure_detection is not None:
         music_config.failure_detection_enabled = failure_detection
+
+    auditor = None
+    if audit:
+        from ..obs import ECFAuditor
+
+        auditor = network.obs.attach_audit(
+            ECFAuditor(period_ms=music_config.period_ms)
+        )
 
     store = build_cluster(
         sim, network, profile,
@@ -128,5 +145,5 @@ def build_music(
     return MusicDeployment(
         sim=sim, network=network, profile=profile, store=store,
         replicas=replicas, detectors=detectors, config=music_config,
-        streams=streams, obs=network.obs,
+        streams=streams, obs=network.obs, auditor=auditor,
     )

@@ -146,6 +146,12 @@ class MusicReplica(Node):
                 flag = False
                 if SYNCH_ROW in flag_rows:
                     flag = bool(flag_rows[SYNCH_ROW].visible_values().get("flag", False))
+                audit = self.obs.audit
+                if audit.enabled:
+                    audit.emit(
+                        "flag_read", key=key, node=self.node_id,
+                        lock_ref=lock_ref, flag=flag, started_ms=grant_started,
+                    )
                 if flag or self.config.always_sync:
                     yield from self._synchronize(key, lock_ref)
 
@@ -153,6 +159,11 @@ class MusicReplica(Node):
                 yield from self.lock_store.set_start_time(key, lock_ref, start_time)
             self._leases[(key, lock_ref)] = start_time
             span.set(granted=True)
+            if audit.enabled:
+                audit.emit(
+                    "grant", key=key, node=self.node_id,
+                    lock_ref=lock_ref, flag=flag,
+                )
             self._record("acquireLock.grant", grant_started)
             return True
 
@@ -185,10 +196,21 @@ class MusicReplica(Node):
             self.data_table, key, VALUE_ROW, {"value": current},
             self._stamp(lock_ref, 0.0), consistency=Consistency.QUORUM,
         )
+        audit = self.obs.audit
+        if audit.enabled:
+            audit.emit(
+                "sync", key=key, node=self.node_id, lock_ref=lock_ref,
+                stamp=self._stamp(lock_ref, 0.0), value=current,
+            )
         yield from self.coordinator.put(
             self.data_table, key, SYNCH_ROW, {"flag": False},
             self._stamp(lock_ref, _TICK), consistency=Consistency.QUORUM,
         )
+        if audit.enabled:
+            audit.emit(
+                "flag_write", key=key, node=self.node_id, lock_ref=lock_ref,
+                stamp=self._stamp(lock_ref, _TICK), flag=False, reason="sync",
+            )
 
     # -- criticalPut (cost: value quorum write) ----------------------------------
 
@@ -207,6 +229,13 @@ class MusicReplica(Node):
                 self.data_table, key, VALUE_ROW, {"value": value},
                 self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
             )
+            audit = self.obs.audit
+            if audit.enabled:
+                audit.emit(
+                    "critical_put", key=key, node=self.node_id,
+                    lock_ref=lock_ref, stamp=self._stamp(lock_ref, offset),
+                    value=value,
+                )
         self._record("criticalPut", started)
         return True
 
@@ -226,6 +255,13 @@ class MusicReplica(Node):
                 self.data_table, key, VALUE_ROW, {"value": None},
                 self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
             )
+            audit = self.obs.audit
+            if audit.enabled:
+                audit.emit(
+                    "critical_put", key=key, node=self.node_id,
+                    lock_ref=lock_ref, stamp=self._stamp(lock_ref, offset),
+                    value=None,
+                )
         self._record("criticalDelete", started)
         return True
 
@@ -251,6 +287,12 @@ class MusicReplica(Node):
             value = None
             if VALUE_ROW in rows:
                 value = rows[VALUE_ROW].visible_values().get("value")
+            audit = self.obs.audit
+            if audit.enabled:
+                audit.emit(
+                    "critical_get", key=key, node=self.node_id,
+                    lock_ref=lock_ref, value=value,
+                )
         self._record("criticalGet", started)
         return (True, value)
 
@@ -310,6 +352,11 @@ class MusicReplica(Node):
             if entry is not None and lock_ref < entry.lock_ref:
                 return True  # lock was already forcibly released
             yield from self.lock_store.dequeue(key, lock_ref)
+            audit = self.obs.audit
+            if audit.enabled:
+                audit.emit(
+                    "release", key=key, node=self.node_id, lock_ref=lock_ref
+                )
         self._leases.pop((key, lock_ref), None)
         self._record("releaseLock", started)
         return True
@@ -332,12 +379,24 @@ class MusicReplica(Node):
         with self.obs.tracer.span(
             "music.forcedRelease", node=self.node_id, site=self.site, key=key
         ):
+            forced_stamp = self._stamp(lock_ref + self.config.delta, 0.0)
             yield from self.coordinator.put(
                 self.data_table, key, SYNCH_ROW, {"flag": True},
-                self._stamp(lock_ref + self.config.delta, 0.0),
-                consistency=Consistency.QUORUM,
+                forced_stamp, consistency=Consistency.QUORUM,
             )
+            audit = self.obs.audit
+            if audit.enabled:
+                audit.emit(
+                    "flag_write", key=key, node=self.node_id,
+                    lock_ref=lock_ref, stamp=forced_stamp, flag=True,
+                    reason="forced",
+                )
             yield from self.lock_store.dequeue(key, lock_ref)
+            if audit.enabled:
+                audit.emit(
+                    "forced_release", key=key, node=self.node_id,
+                    lock_ref=lock_ref, stamp=forced_stamp,
+                )
         return True
 
     # -- unlocked convenience ops (Section VI, "Additional Functions") ---------------

@@ -99,6 +99,11 @@ class FaultSchedule:
         def fire() -> None:
             action()
             self.log.append((self.sim.now, label))
+            audit = self.network.obs.audit
+            if audit.enabled:
+                # Fault markers interleave with the per-key histories so a
+                # violation report shows which faults preceded it.
+                audit.emit("fault", label=label)
 
         return fire
 

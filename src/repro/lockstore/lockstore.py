@@ -109,6 +109,12 @@ class LockStore:
                 )
                 if result.applied:
                     span.set(attempts=attempt + 1)
+                    audit = self.obs.audit
+                    if audit.enabled:
+                        audit.emit(
+                            "enqueue", key=key, node=self._writer,
+                            lock_ref=lock_ref, attempts=attempt + 1,
+                        )
                     return lock_ref
                 # Someone else advanced the guard first; re-read and retry.
                 # Guard contention is the LWT contention rate of the

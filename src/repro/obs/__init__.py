@@ -16,6 +16,16 @@ Usage::
 latency decomposition directly from recorded spans.
 """
 
+from .audit import (
+    NULL_AUDIT,
+    AuditEvent,
+    ECFAuditor,
+    NullAudit,
+    load_audit_jsonl,
+    render_span_tree,
+    replay_audit,
+    write_audit_jsonl,
+)
 from .export import (
     PhaseBreakdown,
     PhaseStats,
@@ -38,15 +48,19 @@ from .recorder import NULL_OBS, NullObservability, Observability
 from .trace import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
 
 __all__ = [
+    "AuditEvent",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "ECFAuditor",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_AUDIT",
     "NULL_OBS",
     "NULL_TRACER",
     "NetworkEvent",
     "NetworkObserver",
+    "NullAudit",
     "NullObservability",
     "NullTracer",
     "Observability",
@@ -56,10 +70,14 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "chrome_trace_events",
+    "load_audit_jsonl",
     "load_jsonl",
     "network_events",
     "phase_breakdown",
     "render_phase_table",
+    "render_span_tree",
+    "replay_audit",
+    "write_audit_jsonl",
     "write_chrome_trace",
     "write_jsonl",
 ]

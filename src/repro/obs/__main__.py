@@ -1,15 +1,20 @@
 """The ``python -m repro.obs`` report CLI.
 
-Two modes:
+Three modes:
 
 - ``python -m repro.obs fig5b`` (the default) — run a small MUSIC
   deployment with observability on, drive a single-client critical-
   section workload, and print the Fig. 5(b)-style per-phase latency
   table derived purely from the recorded spans.  ``--jsonl`` and
   ``--chrome`` additionally dump the raw spans for offline analysis or
-  Perfetto.
+  Perfetto; ``--audit`` attaches the runtime ECF auditor and prints its
+  report, ``--audit-jsonl`` dumps the audit history for offline replay.
 - ``python -m repro.obs report spans.jsonl`` — rebuild the phase table
   from a previously dumped JSONL file.
+- ``python -m repro.obs audit events.jsonl`` — replay a dumped audit
+  history through every ECF checker and print the violation report
+  (exit status 1 if any invariant was violated); pass ``--spans`` to
+  also render the guilty span tree under each violation.
 
 Example::
 
@@ -25,6 +30,7 @@ import sys
 from collections import Counter as TallyCounter
 from typing import Any, Generator, List, Optional
 
+from .audit import replay_audit, write_audit_jsonl
 from .export import (
     load_jsonl,
     phase_breakdown,
@@ -48,7 +54,9 @@ def _run_fig5b(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    deployment = build_music(profile_name=args.profile, obs=True)
+    deployment = build_music(
+        profile_name=args.profile, obs=True, audit=args.audit or bool(args.audit_jsonl)
+    )
     obs = deployment.obs
     client = deployment.client(deployment.profile.site_names[0])
     payload = {"value": "x" * args.value_bytes}
@@ -70,6 +78,14 @@ def _run_fig5b(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(obs.metrics.render())
+    if deployment.auditor is not None:
+        print()
+        print(deployment.auditor.render_report(spans=spans))
+        if args.audit_jsonl:
+            write_audit_jsonl(deployment.auditor, args.audit_jsonl)
+            print(f"audit history written to {args.audit_jsonl}")
+        if not deployment.auditor.clean:
+            return 1
     return 0
 
 
@@ -88,6 +104,26 @@ def _run_report(args: argparse.Namespace) -> int:
     root = args.root or _guess_root(spans)
     _emit(spans, root, args)
     return 0
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    try:
+        auditor = replay_audit(args.events)
+    except OSError as error:
+        print(f"cannot read {args.events}: {error}", file=sys.stderr)
+        return 1
+    except (KeyError, ValueError) as error:
+        print(f"{args.events} is not an audit JSONL dump ({error!r})", file=sys.stderr)
+        return 1
+    spans: Optional[List[SpanRecord]] = None
+    if args.spans:
+        try:
+            spans = load_jsonl(args.spans)
+        except OSError as error:
+            print(f"cannot read {args.spans}: {error}", file=sys.stderr)
+            return 1
+    print(auditor.render_report(spans=spans))
+    return 0 if auditor.clean else 1
 
 
 def _guess_root(spans: List[SpanRecord]) -> str:
@@ -135,6 +171,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig5b.add_argument(
         "--metrics", action="store_true", help="also print the metrics registry"
     )
+    fig5b.add_argument(
+        "--audit", action="store_true",
+        help="attach the runtime ECF auditor and print its report",
+    )
+    fig5b.add_argument(
+        "--audit-jsonl",
+        help="also dump the audit history to this JSONL file (implies --audit)",
+    )
     fig5b.set_defaults(run=_run_fig5b)
 
     report = subparsers.add_parser("report", help="rebuild tables from a JSONL dump")
@@ -142,6 +186,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument("--root", help="root span name (default: most frequent root)")
     report.add_argument("--depth", type=int, default=1, help="phase nesting depth")
     report.set_defaults(run=_run_report)
+
+    audit = subparsers.add_parser(
+        "audit", help="replay a dumped audit history through the ECF checkers"
+    )
+    audit.add_argument("events", help="an events.jsonl produced by --audit-jsonl")
+    audit.add_argument(
+        "--spans",
+        help="a spans.jsonl from the same run, to render guilty span trees",
+    )
+    audit.set_defaults(run=_run_audit)
 
     args = parser.parse_args(argv)
     if not hasattr(args, "run"):  # bare `python -m repro.obs`

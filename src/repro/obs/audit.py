@@ -1,0 +1,703 @@
+"""Runtime ECF safety auditor: online invariant checking over the obs
+event stream.
+
+The bounded model checker of :mod:`repro.verification` proves the ECF
+properties over the Section V Alloy model — but nothing in that proof
+watches the *implementation*.  This module closes the gap in the style
+of replication-aware linearizability: correctness is specified over a
+recorded operation **history**, not over internals.  The instrumented
+code paths (``core/replica.py``, ``lockstore``, ``store``, ``faults``)
+emit structured :class:`AuditEvent` records at every ECF-relevant
+point — lockRef enqueue/grant/release/forcedRelease, synchFlag
+reads/writes, and every criticalGet/criticalPut quorum decision with
+its v2s vector timestamp — and :class:`ECFAuditor` maintains per-key
+history variables (the "true pair" of ``verification/model.py``,
+transplanted to the implementation) and checks, online:
+
+- **Exclusivity** — a write from a preempted/never-granted lockRef must
+  never override the synchronized state of a later lockholder;
+- **LatestState** — every criticalGet by the current lockholder
+  observes the true pair (the greatest-stamp acknowledged write);
+- **LockQueueFIFO** — lockRefs are minted strictly increasing and head
+  grants never go backwards or skip a queued predecessor;
+- **SynchFlag** — a quorum flag read started after a quorum flag write
+  acknowledged must observe it (R+W > N intersection);
+- **SynchFlagMonotonicity** — a forcedRelease flag write must not lose
+  the stamp race to the very lockholder it preempts (the δ > 0 rule's
+  purpose);
+- **ForcedReleaseDelta** — forcedRelease stamps the flag with
+  ``lockRef + δ`` for 0 < δ < 1 (δ = 0 reproduces the Section IV-B
+  race, δ ≥ 1 would beat the next holder's reset);
+- **ForcedReleaseOrder** — the flag quorum write completes *before*
+  the dequeue, so the next holder's flag read cannot miss it;
+- **SyncRequired** — a grant that saw the synchFlag set must run the
+  data-store synchronization before entering the critical section;
+- **LeaseBound** — critical writes carry stamps inside their lockRef's
+  lease window ``[lockRef·T, (lockRef+1)·T)``.
+
+Violations are :class:`~repro.verification.invariants.ViolationRecord`
+instances — the same dataclass the model checker produces — carrying
+the offending key's recent event trace plus the ``(trace_id, span_id)``
+pairs of the implicated obs spans, so ``python -m repro.obs audit`` can
+render the guilty span trees.
+
+The disabled path reuses the :data:`~repro.obs.recorder.NULL_OBS`
+null-object pattern: every emission site is ``audit = self.obs.audit;
+if audit.enabled: ...`` and the default :data:`NULL_AUDIT` is a shared
+inert object, so an un-audited run pays two attribute lookups and a
+falsy branch per site (asserted by ``tests/obs/test_overhead.py``).
+
+Histories dump to JSONL (:func:`write_audit_jsonl`) and replay offline
+(:func:`replay_audit` / ``python -m repro.obs audit events.jsonl``),
+so a red CI run's uploaded artifacts re-check bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..verification.invariants import ViolationRecord
+from .trace import SpanRecord
+
+__all__ = [
+    "AuditEvent",
+    "ECFAuditor",
+    "NULL_AUDIT",
+    "NullAudit",
+    "load_audit_jsonl",
+    "render_span_tree",
+    "replay_audit",
+    "write_audit_jsonl",
+]
+
+# Matches MusicConfig.period_ms; build_music passes the configured value
+# (not imported from core to keep obs free of a core dependency).
+DEFAULT_PERIOD_MS = 10_000_000.0
+
+Stamp = Tuple[float, str]
+
+
+@dataclass(slots=True)
+class AuditEvent:
+    """One structured event from an ECF-relevant code point."""
+
+    seq: int
+    t_ms: float
+    kind: str
+    key: Optional[str]
+    node: Optional[str]
+    lock_ref: Optional[int]
+    stamp: Optional[Stamp]
+    trace_id: Optional[int]
+    span_id: Optional[int]
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        """A compact model-checker-style trace label."""
+        bits = [self.kind]
+        if self.lock_ref is not None:
+            bits.append(f"ref={self.lock_ref}")
+        if self.node:
+            bits.append(f"@{self.node}")
+        return f"{bits[0]}({', '.join(bits[1:])})" if bits[1:] else bits[0]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "t_ms": self.t_ms,
+            "kind": self.kind,
+            "key": self.key,
+            "node": self.node,
+            "lock_ref": self.lock_ref,
+            "stamp": list(self.stamp) if self.stamp is not None else None,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "fields": self.fields,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AuditEvent":
+        stamp = data.get("stamp")
+        return cls(
+            seq=data["seq"],
+            t_ms=data["t_ms"],
+            kind=data["kind"],
+            key=data.get("key"),
+            node=data.get("node"),
+            lock_ref=data.get("lock_ref"),
+            stamp=tuple(stamp) if stamp is not None else None,
+            trace_id=data.get("trace_id"),
+            span_id=data.get("span_id"),
+            fields=data.get("fields") or {},
+        )
+
+
+class NullAudit:
+    """The inert default auditor: emission sites see ``enabled=False``
+    and never build an event."""
+
+    enabled = False
+    events: List[AuditEvent] = []
+    violations: List[ViolationRecord] = []
+
+    def emit(self, kind: str, **_fields: Any) -> None:
+        pass
+
+
+NULL_AUDIT = NullAudit()
+
+
+class _FlagRegister:
+    """The auditor's view of one key's synchFlag: a stamp-ordered
+    register fed by the acknowledged quorum writes."""
+
+    __slots__ = ("stamp", "value", "acked_ms")
+
+    def __init__(self) -> None:
+        self.stamp: Optional[Stamp] = None
+        self.value = False
+        self.acked_ms: Optional[float] = None
+
+    def apply(self, stamp: Stamp, value: bool, now: float) -> bool:
+        if self.stamp is None or stamp > self.stamp:
+            self.stamp, self.value, self.acked_ms = stamp, value, now
+            return True
+        return False
+
+
+class _KeyState:
+    """Per-key history variables (the model's state, observed live)."""
+
+    __slots__ = (
+        "queue", "last_enqueued", "head_granted", "granted_active",
+        "granted_refs", "synced_refs", "forced_flags", "flag",
+        "true_stamp", "true_value", "true_span", "recent", "recent_spans",
+    )
+
+    def __init__(self) -> None:
+        self.queue: Set[int] = set()          # enqueued, not yet dequeued
+        self.last_enqueued = 0
+        self.head_granted = 0                 # highest head-granted lockRef
+        self.granted_active: Optional[int] = None
+        self.granted_refs: Set[int] = set()   # every ref that ever saw a grant
+        self.synced_refs: Set[int] = set()    # refs that ran the acquire sync
+        self.forced_flags: Dict[int, Stamp] = {}
+        self.flag = _FlagRegister()
+        # The "true pair": greatest-stamp acknowledged critical write.
+        self.true_stamp: Optional[Stamp] = None
+        self.true_value: Any = None
+        self.true_span: Optional[Tuple[int, int]] = None
+        self.recent: "deque[str]" = deque(maxlen=16)
+        self.recent_spans: "deque[Tuple[int, int]]" = deque(maxlen=16)
+
+
+class ECFAuditor:
+    """Online checker over the audit event stream of one simulation.
+
+    Attach with ``Observability.attach_audit`` (or ``build_music(...,
+    audit=True)``); replay a dumped history with :meth:`replay`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        period_ms: float = DEFAULT_PERIOD_MS,
+        sim: Any = None,
+        tracer: Any = None,
+        event_limit: int = 500_000,
+        violation_limit: int = 1_000,
+    ) -> None:
+        self.period_ms = period_ms
+        self.sim = sim
+        self.tracer = tracer
+        self.event_limit = event_limit
+        self.violation_limit = violation_limit
+        self.events: List[AuditEvent] = []
+        self.dropped = 0
+        self.violations: List[ViolationRecord] = []
+        self.violation_counts: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {
+            "zombie_grants": 0, "zombie_puts": 0, "zombie_gets": 0,
+            "faults": 0, "lwts": 0,
+        }
+        self._keys: Dict[str, _KeyState] = {}
+        self._fault_recent: "deque[Tuple[int, str]]" = deque(maxlen=4)
+        self._seq = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, sim: Any, tracer: Any) -> None:
+        """Adopt a simulation's clock and tracer (done by attach_audit)."""
+        self.sim = sim
+        self.tracer = tracer
+
+    # -- ingestion --------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        key: Optional[str] = None,
+        node: Optional[str] = None,
+        lock_ref: Optional[int] = None,
+        stamp: Optional[Stamp] = None,
+        **fields: Any,
+    ) -> None:
+        """Record one event at the current simulated time and check it.
+
+        Pure recording: never yields, sleeps, or consumes randomness, so
+        attaching the auditor cannot change simulated timings.
+        """
+        trace_id = span_id = None
+        if self.tracer is not None:
+            span = self.tracer.current_span()
+            if span is not None:
+                trace_id, span_id = span.trace_id, span.span_id
+        self._seq += 1
+        event = AuditEvent(
+            seq=self._seq,
+            t_ms=self.sim.now if self.sim is not None else 0.0,
+            kind=kind,
+            key=key,
+            node=node,
+            lock_ref=lock_ref,
+            stamp=tuple(stamp) if stamp is not None else None,
+            trace_id=trace_id,
+            span_id=span_id,
+            fields=fields,
+        )
+        self.ingest(event)
+
+    def ingest(self, event: AuditEvent) -> None:
+        """Feed one event (live emission and offline replay share this)."""
+        if len(self.events) < self.event_limit:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+        self._seq = max(self._seq, event.seq)
+        if event.kind == "fault":
+            self.counters["faults"] += 1
+            self._fault_recent.append((event.seq, event.label()
+                                       + f"[{event.fields.get('label', '')}]"))
+            return
+        if event.kind == "lwt":
+            self.counters["lwts"] += 1
+            return
+        if event.key is None:
+            return
+        state = self._keys.get(event.key)
+        if state is None:
+            state = self._keys[event.key] = _KeyState()
+        state.recent.append(f"t={event.t_ms:.1f} {event.label()}")
+        if event.trace_id is not None and event.span_id is not None:
+            state.recent_spans.append((event.trace_id, event.span_id))
+        handler = getattr(self, f"_on_{event.kind}", None)
+        if handler is not None:
+            handler(event, state)
+
+    # -- checkers ---------------------------------------------------------
+
+    def _on_enqueue(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        if ref <= state.last_enqueued:
+            self._violate(
+                "LockQueueFIFO", event, state,
+                f"lockRef {ref} minted after {state.last_enqueued}: the LWT "
+                "guard must yield strictly increasing references",
+            )
+        state.last_enqueued = max(state.last_enqueued, ref)
+        state.queue.add(ref)
+
+    def _on_flag_read(self, event: AuditEvent, state: _KeyState) -> None:
+        observed = bool(event.fields.get("flag", False))
+        started = event.fields.get("started_ms", event.t_ms)
+        register = state.flag
+        if (
+            not observed
+            and register.value
+            and register.acked_ms is not None
+            and register.acked_ms < started
+        ):
+            self._violate(
+                "SynchFlag", event, state,
+                "a quorum flag read started after a forcedRelease flag write "
+                "acknowledged, yet observed flag=False (quorum intersection "
+                "broken)",
+            )
+
+    def _on_sync(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        state.synced_refs.add(ref)
+        self._check_lease_bound(event, state)
+        if state.true_stamp is None or event.stamp > state.true_stamp:
+            state.true_stamp = event.stamp
+            state.true_value = event.fields.get("value")
+            state.true_span = self._span_of(event)
+
+    def _on_flag_write(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        reason = event.fields.get("reason")
+        value = bool(event.fields.get("flag", False))
+        register = state.flag
+        if reason == "forced":
+            offset = event.stamp[0] - ref * self.period_ms
+            if not 0.0 < offset < self.period_ms:
+                delta = offset / self.period_ms
+                self._violate(
+                    "ForcedReleaseDelta", event, state,
+                    f"forcedRelease stamped the synchFlag with δ={delta:g} "
+                    "lockRef units; the Section IV-B rule needs 0 < δ < 1 "
+                    "(δ=0 ties with the released holder's own flag reset, "
+                    "δ≥1 would beat the next holder's)",
+                )
+            state.forced_flags[ref] = event.stamp
+            # The forced write must beat the flag *reset* of the very
+            # lockRef it preempts, or the next holder skips the
+            # synchronization.  Losing to a later lockRef's reset is the
+            # intended resolution of a detector race, and losing a
+            # node-id tiebreak to another forced write is harmless (the
+            # flag is set either way) — only a losing write that leaves
+            # the flag cleared is a hazard.
+            if (
+                register.stamp is not None
+                and event.stamp <= register.stamp
+                and not register.value
+            ):
+                register_ref = int(register.stamp[0] // self.period_ms)
+                if ref >= register_ref:
+                    self._violate(
+                        "SynchFlagMonotonicity", event, state,
+                        f"forcedRelease({ref})'s flag write (stamp "
+                        f"{event.stamp[0]:.6f}) lost to the flag reset "
+                        f"(stamp {register.stamp[0]:.6f}) of lockRef "
+                        f"{register_ref}: the next holder will skip the "
+                        "synchronization",
+                    )
+        register.apply(event.stamp, value, event.t_ms)
+
+    def _on_grant(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        state.granted_refs.add(ref)
+        if ref not in state.queue:
+            # A stale local peek granted a dequeued lockRef: the paper's
+            # zombie-holder scenario.  Allowed — its writes are bounded
+            # by the Exclusivity/LeaseBound checks below.
+            self.counters["zombie_grants"] += 1
+            return
+        head = min(state.queue)
+        if ref != head:
+            self._violate(
+                "LockQueueFIFO", event, state,
+                f"lockRef {ref} granted while lockRef {head} heads the "
+                "queue (grant order must follow the consensus queue)",
+            )
+        elif ref < state.head_granted:
+            self._violate(
+                "LockQueueFIFO", event, state,
+                f"head grant went backwards: {ref} after {state.head_granted}",
+            )
+        if (
+            state.granted_active is not None
+            and state.granted_active != ref
+            and state.granted_active in state.queue
+        ):
+            self._violate(
+                "Exclusivity", event, state,
+                f"lockRef {ref} granted while lockRef "
+                f"{state.granted_active} is still granted and queued "
+                "(two concurrent lockholders)",
+            )
+        if bool(event.fields.get("flag", False)) and ref not in state.synced_refs:
+            self._violate(
+                "SyncRequired", event, state,
+                f"lockRef {ref}'s grant observed synchFlag=True but entered "
+                "the critical section without synchronizing the data store "
+                "(the store may be undefined after a forcedRelease)",
+            )
+        state.granted_active = ref
+        state.head_granted = max(state.head_granted, ref)
+
+    def _on_critical_put(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        self._check_lease_bound(event, state)
+        if ref not in state.granted_refs:
+            self._violate(
+                "Exclusivity", event, state,
+                f"criticalPut by lockRef {ref}, which was never granted "
+                "the lock (guard bypassed?)",
+            )
+        elif ref < state.head_granted:
+            # A preempted holder still writing: legal, *iff* its stamp
+            # cannot override the synchronized state of its successor.
+            self.counters["zombie_puts"] += 1
+            if state.true_stamp is not None and event.stamp > state.true_stamp:
+                self._violate(
+                    "Exclusivity", event, state,
+                    f"a write from preempted lockRef {ref} (stamp "
+                    f"{event.stamp[0]:.6f}) overrides the synchronized "
+                    f"state (stamp {state.true_stamp[0]:.6f}) of lockRef "
+                    f"{state.head_granted}",
+                )
+        if state.true_stamp is None or event.stamp > state.true_stamp:
+            state.true_stamp = event.stamp
+            state.true_value = event.fields.get("value")
+            state.true_span = self._span_of(event)
+
+    def _on_critical_get(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        if ref not in state.granted_refs:
+            self._violate(
+                "Exclusivity", event, state,
+                f"criticalGet by lockRef {ref}, which was never granted "
+                "the lock (guard bypassed?)",
+            )
+            return
+        if ref != state.head_granted or ref not in state.queue:
+            self.counters["zombie_gets"] += 1
+            return
+        if state.true_stamp is None:
+            return  # no critical write yet: nothing to compare against
+        observed = event.fields.get("value")
+        if observed != state.true_value:
+            self._violate(
+                "LatestState", event, state,
+                f"criticalGet by the current lockholder observed "
+                f"{observed!r} but the true pair (stamp "
+                f"{state.true_stamp[0]:.6f}) is {state.true_value!r}",
+                extra_span=state.true_span,
+            )
+
+    def _on_release(self, event: AuditEvent, state: _KeyState) -> None:
+        self._dequeue(event.lock_ref, state)
+
+    def _on_forced_release(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        if ref not in state.forced_flags:
+            self._violate(
+                "ForcedReleaseOrder", event, state,
+                f"forcedRelease dequeued lockRef {ref} without first "
+                "completing the synchFlag quorum write: the next holder's "
+                "flag read can miss the preemption",
+            )
+        self._dequeue(ref, state)
+
+    def _dequeue(self, ref: int, state: _KeyState) -> None:
+        state.queue.discard(ref)
+        state.synced_refs.discard(ref)
+        if state.granted_active == ref:
+            state.granted_active = None
+
+    def _check_lease_bound(self, event: AuditEvent, state: _KeyState) -> None:
+        offset = event.stamp[0] - event.lock_ref * self.period_ms
+        if not 0.0 <= offset < self.period_ms:
+            self._violate(
+                "LeaseBound", event, state,
+                f"{event.kind} stamped {offset:.3f}ms past lockRef "
+                f"{event.lock_ref}'s lease start; v2s ordering needs the "
+                f"offset inside [0, T={self.period_ms:g}ms)",
+            )
+
+    # -- violation plumbing -----------------------------------------------
+
+    def _span_of(self, event: AuditEvent) -> Optional[Tuple[int, int]]:
+        if event.trace_id is None or event.span_id is None:
+            return None
+        return (event.trace_id, event.span_id)
+
+    def _violate(
+        self,
+        invariant: str,
+        event: AuditEvent,
+        state: _KeyState,
+        detail: str,
+        extra_span: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        self.violation_counts[invariant] = self.violation_counts.get(invariant, 0) + 1
+        if len(self.violations) >= self.violation_limit:
+            return
+        spans: List[Tuple[int, int]] = []
+        own = self._span_of(event)
+        if own is not None:
+            spans.append(own)
+        if extra_span is not None and extra_span not in spans:
+            spans.append(extra_span)
+        trace = [label for _seq, label in self._fault_recent] + list(state.recent)
+        self.violations.append(
+            ViolationRecord(
+                invariant=invariant,
+                source="runtime",
+                detail=detail,
+                key=event.key,
+                lock_ref=event.lock_ref,
+                time_ms=event.t_ms,
+                trace=trace,
+                trace_spans=spans,
+            )
+        )
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.violation_counts
+
+    def assert_clean(self) -> None:
+        if not self.clean:
+            raise AssertionError(self.render_report())
+
+    def render_report(
+        self,
+        spans: Optional[Sequence[SpanRecord]] = None,
+        max_violations: int = 10,
+    ) -> str:
+        """A human-readable audit summary; pass recorded spans to also
+        render the guilty span tree under each violation."""
+        kinds: Dict[str, int] = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        total = len(self.events) + self.dropped
+        lines = [
+            f"ECF audit: {total} events over {len(self._keys)} key(s), "
+            f"{sum(self.violation_counts.values())} violation(s)"
+        ]
+        if kinds:
+            lines.append(
+                "  events: "
+                + ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+            )
+        zombies = {k: v for k, v in self.counters.items() if v and k.startswith("zombie")}
+        if zombies:
+            lines.append(
+                "  benign races: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(zombies.items()))
+            )
+        if self.dropped:
+            lines.append(f"  (history bounded: {self.dropped} events dropped)")
+        if self.clean:
+            lines.append("  clean audit: all ECF invariants held")
+            return "\n".join(lines)
+        for invariant, count in sorted(self.violation_counts.items()):
+            lines.append(f"  {invariant}: {count} violation(s)")
+        for record in self.violations[:max_violations]:
+            lines.append("")
+            lines.append(record.render())
+            if spans:
+                for trace_id, _span_id in record.trace_spans[:1]:
+                    highlight = {s for _t, s in record.trace_spans}
+                    lines.append(render_span_tree(spans, trace_id, highlight))
+        remaining = len(self.violations) - max_violations
+        if remaining > 0:
+            lines.append(f"\n... and {remaining} more violation(s)")
+        return "\n".join(lines)
+
+    # -- offline ----------------------------------------------------------
+
+    @classmethod
+    def replay(
+        cls, events: Iterable[AuditEvent], period_ms: float = DEFAULT_PERIOD_MS
+    ) -> "ECFAuditor":
+        """Re-check a recorded history; returns the replayed auditor."""
+        auditor = cls(period_ms=period_ms)
+        for event in sorted(events, key=lambda e: e.seq):
+            auditor.ingest(event)
+        return auditor
+
+
+# -- JSONL persistence ------------------------------------------------------
+
+PathOrFile = Union[str, "IO[str]"]
+
+_META_KIND = "_meta"
+
+
+def _jsonable(value: Any) -> Any:
+    return json.loads(json.dumps(value, sort_keys=True, default=repr))
+
+
+def write_audit_jsonl(auditor: ECFAuditor, destination: PathOrFile) -> None:
+    """One event per line, preceded by a meta line carrying T (needed to
+    decompose v2s stamps on replay)."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            write_audit_jsonl(auditor, handle)
+        return
+    destination.write(
+        json.dumps({"kind": _META_KIND, "period_ms": auditor.period_ms}) + "\n"
+    )
+    for event in auditor.events:
+        destination.write(
+            json.dumps(_jsonable(event.to_dict()), sort_keys=True) + "\n"
+        )
+
+
+def load_audit_jsonl(source: PathOrFile) -> Tuple[List[AuditEvent], float]:
+    """Returns ``(events, period_ms)``."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_audit_jsonl(handle)
+    events: List[AuditEvent] = []
+    period_ms = DEFAULT_PERIOD_MS
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        if data.get("kind") == _META_KIND:
+            period_ms = float(data.get("period_ms", period_ms))
+            continue
+        events.append(AuditEvent.from_dict(data))
+    return events, period_ms
+
+
+def replay_audit(source: PathOrFile) -> ECFAuditor:
+    """Load a JSONL history and re-run every checker over it."""
+    events, period_ms = load_audit_jsonl(source)
+    return ECFAuditor.replay(events, period_ms=period_ms)
+
+
+# -- guilty span trees -------------------------------------------------------
+
+
+def render_span_tree(
+    spans: Sequence[SpanRecord],
+    trace_id: int,
+    highlight: Optional[Set[int]] = None,
+    max_spans: int = 100,
+) -> str:
+    """The span tree of one trace, guilty spans marked with ``▶``."""
+    highlight = highlight or set()
+    members = [s for s in spans if s.trace_id == trace_id]
+    if not members:
+        return f"  (no spans recorded for trace {trace_id})"
+    by_id = {s.span_id: s for s in members}
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for span in members:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start_ms, s.span_id))
+    lines: List[str] = [f"  span tree of trace {trace_id}:"]
+    emitted = 0
+
+    def walk(span: SpanRecord, depth: int) -> None:
+        nonlocal emitted
+        if emitted >= max_spans:
+            return
+        emitted += 1
+        marker = "▶" if span.span_id in highlight else " "
+        where = f" node={span.node}" if span.node else ""
+        lines.append(
+            f"  {marker}{'  ' * depth}{span.name} "
+            f"[{span.start_ms:.1f}–{span.end_ms:.1f}ms]{where}"
+        )
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    if emitted >= max_spans:
+        lines.append(f"  ... (tree truncated at {max_spans} spans)")
+    return "\n".join(lines)

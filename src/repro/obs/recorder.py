@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim import Simulator
+from .audit import NULL_AUDIT, ECFAuditor
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .netobs import NetworkEvent, network_events
 from .trace import NULL_TRACER, NullTracer, Tracer
@@ -36,6 +37,19 @@ class Observability:
         self.sim = sim
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or Tracer(sim, limit=span_limit)
+        # The runtime ECF auditor; NULL_AUDIT until one is attached, so
+        # emission sites stay on the null-object fast path.
+        self.audit = NULL_AUDIT
+
+    def attach_audit(self, auditor: Optional[ECFAuditor] = None) -> ECFAuditor:
+        """Subscribe an :class:`~repro.obs.audit.ECFAuditor` to this
+        recorder's event stream (creating one if not given)."""
+        if auditor is None:
+            auditor = ECFAuditor(sim=self.sim, tracer=self.tracer)
+        else:
+            auditor.bind(self.sim, self.tracer)
+        self.audit = auditor
+        return auditor
 
     def observe_network(self, network) -> None:
         """Subscribe message counters/bytes to ``network``'s send events."""
@@ -102,6 +116,7 @@ class NullObservability:
     enabled = False
     metrics = _NullMetrics()
     tracer: NullTracer = NULL_TRACER
+    audit = NULL_AUDIT
 
     def observe_network(self, network) -> None:
         pass

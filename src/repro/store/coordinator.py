@@ -331,6 +331,13 @@ class StoreCoordinator:
                 )
                 if outcome is not None:
                     span.set(attempts=attempt + 1, applied=outcome.applied)
+                    audit = self.obs.audit
+                    if audit.enabled:
+                        audit.emit(
+                            "lwt", node=self.node.node_id, table=table,
+                            partition=partition, applied=outcome.applied,
+                            attempts=attempt + 1,
+                        )
                     return outcome
                 self.obs.metrics.counter(
                     "store.cas.ballot_losses", node=self.node.node_id
@@ -381,6 +388,22 @@ class StoreCoordinator:
             self._observe_ballots(promises)
             return None
         in_progress = [p["in_progress"] for p in promises if p["in_progress"] is not None]
+        # Discard in-progress proposals older than the newest commit any
+        # promiser has seen: those rounds were superseded — a partially-
+        # accepted proposal that lost its ballot race must not be
+        # resurrected after a competing CAS committed, or its proposer
+        # would see applied=True for a condition that no longer holds
+        # (e.g. two coordinators both minting the same lockRef).  This
+        # mirrors Cassandra's most-recent-commit check.  A proposal that
+        # actually took effect is still recognised by the read phase's
+        # op-id visibility check below.
+        commits = [
+            p.get("latest_commit") for p in promises
+            if p.get("latest_commit") is not None
+        ]
+        if commits:
+            newest_commit = max(commits)
+            in_progress = [pair for pair in in_progress if pair[0] > newest_commit]
         if in_progress:
             # Finish the most recent incomplete proposal before our own
             # (Cassandra's LWT recovery path).  If the orphan is our own

@@ -42,6 +42,10 @@ class PaxosState:
     promised: Optional[Ballot] = None
     accepted: Optional[Tuple[Ballot, Mutation]] = None
     committed_ballots: set = field(default_factory=set)
+    # The newest ballot this replica has committed; reported in prepare
+    # replies so coordinators can discard obsolete in-progress proposals
+    # (mirrors Cassandra's most-recent-commit tracking).
+    latest_commit: Optional[Ballot] = None
 
 
 class StorageReplica(Node):
@@ -178,7 +182,11 @@ class StorageReplica(Node):
             if state.accepted is not None:
                 accepted_ballot, mutation = state.accepted
                 in_progress = (accepted_ballot, mutation)
-            self.reply(msg, {"promised": True, "in_progress": in_progress})
+            self.reply(msg, {
+                "promised": True,
+                "in_progress": in_progress,
+                "latest_commit": state.latest_commit,
+            })
 
     def _handle_paxos_propose(self, msg: Message) -> Generator[Any, Any, None]:
         body = self.payload(msg)
@@ -215,6 +223,8 @@ class StorageReplica(Node):
                 state.committed_ballots.add(ballot)
                 for update in mutation:
                     self.apply_update(update)
+            if state.latest_commit is None or ballot > state.latest_commit:
+                state.latest_commit = ballot
             if state.accepted is not None and state.accepted[0] <= ballot:
                 state.accepted = None
             self.reply(msg, {"ok": True})

@@ -1,7 +1,7 @@
 """Formal verification: the Section V model and a bounded checker."""
 
 from .checker import CheckResult, ModelChecker
-from .invariants import INVARIANTS, Violation, check_invariants
+from .invariants import INVARIANTS, Violation, ViolationRecord, check_invariants
 from .model import (
     K,
     ClientState,
@@ -23,6 +23,7 @@ __all__ = [
     "ModelState",
     "Phase",
     "Violation",
+    "ViolationRecord",
     "Write",
     "check_invariants",
     "enabled_events",

@@ -3,27 +3,107 @@
 Each invariant is a predicate over :class:`ModelState`; a checker
 violation carries the event trace that reached the bad state, which is
 the counterexample the Alloy Analyzer would display.
+
+:class:`ViolationRecord` is the shared report format: the bounded model
+checker (``source="model"``) and the runtime ECF auditor of
+:mod:`repro.obs.audit` (``source="runtime"``) both produce it, so a
+counterexample from the Alloy-style exploration and a violation caught
+live in a simulated run render identically.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .model import K, ModelState, Phase
 
-__all__ = ["INVARIANTS", "Violation", "check_invariants"]
+__all__ = ["INVARIANTS", "Violation", "ViolationRecord", "check_invariants"]
+
+
+@dataclass
+class ViolationRecord:
+    """One invariant violation, from the model checker or the runtime
+    auditor, in a single shared format.
+
+    ``trace`` is the event history that reached the bad state (model
+    event labels, or the audited key's recent runtime events).
+    ``trace_spans`` is runtime-only: the ``(trace_id, span_id)`` pairs of
+    the obs spans implicated, so ``python -m repro.obs audit`` can render
+    the guilty span trees.
+    """
+
+    invariant: str
+    source: str = "model"  # "model" | "runtime"
+    detail: str = ""
+    key: Optional[str] = None
+    lock_ref: Optional[int] = None
+    time_ms: Optional[float] = None
+    trace: List[str] = field(default_factory=list)
+    trace_spans: List[Tuple[int, int]] = field(default_factory=list)
+
+    def render(self) -> str:
+        head = f"invariant {self.invariant!r} violated ({self.source})"
+        context = []
+        if self.key is not None:
+            context.append(f"key={self.key!r}")
+        if self.lock_ref is not None:
+            context.append(f"lockRef={self.lock_ref}")
+        if self.time_ms is not None:
+            context.append(f"t={self.time_ms:.1f}ms")
+        lines = [head + ((" " + " ".join(context)) if context else "")]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        lines.append(f"  after: {' -> '.join(self.trace) or '<initial>'}")
+        if self.trace_spans:
+            spans = ", ".join(f"trace {t}/span {s}" for t, s in self.trace_spans)
+            lines.append(f"  spans: {spans}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["trace_spans"] = [list(pair) for pair in self.trace_spans]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ViolationRecord":
+        return cls(
+            invariant=data["invariant"],
+            source=data.get("source", "model"),
+            detail=data.get("detail", ""),
+            key=data.get("key"),
+            lock_ref=data.get("lock_ref"),
+            time_ms=data.get("time_ms"),
+            trace=list(data.get("trace") or []),
+            trace_spans=[tuple(pair) for pair in data.get("trace_spans") or []],
+        )
 
 
 class Violation(AssertionError):
     """An invariant failed; carries the offending state and trace."""
 
     def __init__(self, name: str, state: ModelState, trace: List[str]) -> None:
-        super().__init__(
-            f"invariant {name!r} violated after: {' -> '.join(trace) or '<initial>'}"
-        )
+        super().__init__(name)  # real message comes from __str__
         self.invariant = name
         self.state = state
         self.trace = trace
+
+    @property
+    def record(self) -> ViolationRecord:
+        """The violation in the shared model/runtime report format.
+
+        Built on demand so it reflects trace updates (the checker fills
+        in the reconstructed trace after raising).
+        """
+        return ViolationRecord(
+            invariant=self.invariant, source="model", trace=list(self.trace)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"invariant {self.invariant!r} violated after: "
+            f"{' -> '.join(self.trace) or '<initial>'}"
+        )
 
 
 def mutual_exclusion(state: ModelState) -> bool:

@@ -1,0 +1,342 @@
+"""Unit tests of the runtime ECF auditor: each checker, the JSONL
+offline mode, the shared ViolationRecord format, and the null object."""
+
+import io
+
+from repro.obs import (
+    NULL_AUDIT,
+    AuditEvent,
+    ECFAuditor,
+    render_span_tree,
+    replay_audit,
+    write_audit_jsonl,
+)
+from repro.obs.trace import SpanRecord
+from repro.verification import Violation, ViolationRecord
+
+T = 1_000.0  # a small lease period keeps the synthetic stamps readable
+
+
+def make_auditor():
+    return ECFAuditor(period_ms=T)
+
+
+def feed(auditor, kind, ref, key="k", stamp=None, **fields):
+    auditor.emit(kind, key=key, node="n0", lock_ref=ref, stamp=stamp, **fields)
+
+
+def grant_path(auditor, ref, key="k", flag=False):
+    feed(auditor, "enqueue", ref, key=key)
+    feed(auditor, "flag_read", ref, key=key, flag=flag, started_ms=0.0)
+    feed(auditor, "grant", ref, key=key, flag=flag)
+
+
+def forced_preempt(auditor, ref, key="k"):
+    """A detector preempts ``ref``: forced flag write then dequeue."""
+    stamp = (ref * T + 10.0, "detector")
+    feed(auditor, "flag_write", ref, key=key, stamp=stamp, flag=True,
+         reason="forced")
+    feed(auditor, "forced_release", ref, key=key, stamp=stamp)
+
+
+def grant_after_preempt(auditor, ref, key="k"):
+    """The next holder's full path: sees the flag, syncs, resets, enters."""
+    feed(auditor, "enqueue", ref, key=key)
+    feed(auditor, "flag_read", ref, key=key, flag=True, started_ms=0.0)
+    feed(auditor, "sync", ref, key=key, stamp=(ref * T, "n0"), value=None)
+    feed(auditor, "flag_write", ref, key=key, stamp=(ref * T + 0.001, "n0"),
+         flag=False, reason="sync")
+    feed(auditor, "grant", ref, key=key, flag=True)
+
+
+# -- per-invariant checkers -------------------------------------------------
+
+
+def test_happy_path_is_clean():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "critical_put", 1, stamp=(1 * T + 10.0, "n0"), value="v")
+    feed(auditor, "critical_get", 1, value="v")
+    feed(auditor, "release", 1)
+    assert auditor.clean
+    auditor.assert_clean()
+
+
+def test_duplicate_lock_ref_mint_violates_fifo():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    feed(auditor, "enqueue", 1)
+    assert auditor.violation_counts == {"LockQueueFIFO": 1}
+    assert "strictly increasing" in auditor.violations[0].detail
+
+
+def test_grant_skipping_the_queue_head_violates_fifo():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    feed(auditor, "enqueue", 2)
+    feed(auditor, "grant", 2, flag=False)
+    assert "LockQueueFIFO" in auditor.violation_counts
+
+
+def test_zombie_grant_is_counted_not_flagged():
+    """A stale local peek can grant a dequeued lockRef (the paper's
+    zombie holder): a benign race, bounded by the write-path checks."""
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "release", 1)
+    feed(auditor, "grant", 1, flag=False)  # re-grant after dequeue
+    assert auditor.clean
+    assert auditor.counters["zombie_grants"] == 1
+
+
+def test_put_by_never_granted_ref_violates_exclusivity():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    feed(auditor, "critical_put", 1, stamp=(1 * T + 1.0, "n0"), value="x")
+    assert auditor.violation_counts == {"Exclusivity": 1}
+    assert "never granted" in auditor.violations[0].detail
+
+
+def test_preempted_write_overriding_synced_state_violates_exclusivity():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    forced_preempt(auditor, 1)
+    grant_after_preempt(auditor, 2)
+    feed(auditor, "critical_put", 2, stamp=(2 * T + 1.0, "n0"), value="new")
+    # A write from preempted ref 1 whose stamp beats the synced state is
+    # impossible under correct v2s stamping -> violation.
+    feed(auditor, "critical_put", 1, stamp=(2 * T + 2.0, "n0"), value="old")
+    assert "Exclusivity" in auditor.violation_counts
+
+
+def test_benign_zombie_put_is_counted_not_flagged():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    forced_preempt(auditor, 1)
+    grant_after_preempt(auditor, 2)
+    feed(auditor, "critical_put", 2, stamp=(2 * T + 1.0, "n0"), value="new")
+    feed(auditor, "critical_put", 1, stamp=(1 * T + 2.0, "n0"), value="old")
+    assert auditor.clean
+    assert auditor.counters["zombie_puts"] == 1
+
+
+def test_stale_get_observing_wrong_value_violates_latest_state():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "critical_put", 1, stamp=(1 * T + 1.0, "n0"), value="true")
+    feed(auditor, "critical_get", 1, value="stale")
+    assert auditor.violation_counts == {"LatestState": 1}
+    assert "true pair" in auditor.violations[0].detail
+
+
+def test_zombie_get_is_counted_not_flagged():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "critical_put", 1, stamp=(1 * T + 1.0, "n0"), value="v")
+    forced_preempt(auditor, 1)
+    grant_after_preempt(auditor, 2)
+    feed(auditor, "critical_get", 1, value="whatever")  # preempted reader
+    assert auditor.clean
+    assert auditor.counters["zombie_gets"] == 1
+
+
+def test_stamp_outside_lease_window_violates_lease_bound():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "critical_put", 1, stamp=(2 * T + 1.0, "n0"), value="v")
+    assert "LeaseBound" in auditor.violation_counts
+
+
+def test_delta_zero_forced_release_violates_delta_rule():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "flag_write", 1, stamp=(1 * T, "n0"), flag=True, reason="forced")
+    assert auditor.violation_counts == {"ForcedReleaseDelta": 1}
+    assert "0 < δ < 1" in auditor.violations[0].detail
+
+
+def test_dequeue_without_flag_write_violates_forced_release_order():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "forced_release", 1, stamp=(1 * T + 1.0, "n0"))
+    assert auditor.violation_counts == {"ForcedReleaseOrder": 1}
+
+
+def test_proper_forced_release_is_clean():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "flag_write", 1, stamp=(1 * T + 10.0, "n0"), flag=True,
+         reason="forced")
+    feed(auditor, "forced_release", 1, stamp=(1 * T + 10.0, "n0"))
+    assert auditor.clean
+
+
+def test_grant_with_flag_set_but_no_sync_violates_sync_required():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    feed(auditor, "flag_read", 1, flag=True, started_ms=0.0)
+    feed(auditor, "grant", 1, flag=True)
+    assert auditor.violation_counts == {"SyncRequired": 1}
+
+
+def test_grant_with_flag_set_after_sync_is_clean():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    feed(auditor, "flag_read", 1, flag=True, started_ms=0.0)
+    feed(auditor, "sync", 1, stamp=(1 * T, "n0"), value=None)
+    feed(auditor, "flag_write", 1, stamp=(1 * T + 0.001, "n0"), flag=False,
+         reason="sync")
+    feed(auditor, "grant", 1, flag=True)
+    assert auditor.clean
+
+
+def test_flag_read_missing_acked_write_violates_synch_flag():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    # The forced flag write acked at t=0 (sim-less emits stamp t_ms=0).
+    feed(auditor, "flag_write", 1, stamp=(1 * T + 10.0, "n0"), flag=True,
+         reason="forced")
+    feed(auditor, "enqueue", 2)
+    feed(auditor, "flag_read", 2, flag=False, started_ms=5.0)
+    assert auditor.violation_counts == {"SynchFlag": 1}
+    assert "intersection" in auditor.violations[0].detail
+
+
+def test_forced_write_losing_to_own_reset_violates_monotonicity():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    # ref 1's own sync reset...
+    feed(auditor, "flag_write", 1, stamp=(1 * T + 0.001, "n0"), flag=False,
+         reason="sync")
+    # ...beats the forced write preempting ref 1 (δ too small): hazard.
+    feed(auditor, "flag_write", 1, stamp=(1 * T + 0.0005, "n1"), flag=True,
+         reason="forced")
+    assert "SynchFlagMonotonicity" in auditor.violation_counts
+
+
+def test_forced_write_tiebreak_between_racing_detectors_is_clean():
+    """Two detectors force-release the same ref with identical stamps:
+    the node-id tiebreak loser leaves the flag set either way."""
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "flag_write", 1, stamp=(1 * T + 10.0, "n1"), flag=True,
+         reason="forced")
+    feed(auditor, "forced_release", 1, stamp=(1 * T + 10.0, "n1"))
+    feed(auditor, "flag_write", 1, stamp=(1 * T + 10.0, "n0"), flag=True,
+         reason="forced")
+    feed(auditor, "forced_release", 1, stamp=(1 * T + 10.0, "n0"))
+    assert auditor.clean
+
+
+# -- bounded history ---------------------------------------------------------
+
+
+def test_event_limit_drops_but_keeps_checking():
+    auditor = ECFAuditor(period_ms=T, event_limit=4)
+    grant_path(auditor, 1)  # 3 events
+    feed(auditor, "release", 1)
+    feed(auditor, "enqueue", 1)  # dropped from history, still checked
+    assert auditor.dropped == 1
+    assert "LockQueueFIFO" in auditor.violation_counts
+
+
+def test_violation_limit_caps_records_not_counts():
+    auditor = ECFAuditor(period_ms=T, violation_limit=2)
+    for ref in (1, 1, 1, 1):
+        feed(auditor, "enqueue", ref)
+    assert auditor.violation_counts["LockQueueFIFO"] == 3
+    assert len(auditor.violations) == 2
+
+
+# -- offline mode -------------------------------------------------------------
+
+
+def test_jsonl_roundtrip_preserves_events_and_period():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "critical_put", 1, stamp=(1 * T + 1.0, "n0"), value={"a": 1})
+    buffer = io.StringIO()
+    write_audit_jsonl(auditor, buffer)
+    lines = buffer.getvalue().strip().splitlines()
+    assert '"_meta"' in lines[0] and str(T) in lines[0]
+    buffer.seek(0)
+    replayed = replay_audit(buffer)
+    assert replayed.period_ms == T
+    assert len(replayed.events) == len(auditor.events)
+    assert replayed.events[0].kind == "enqueue"
+    assert replayed.clean
+
+
+def test_offline_replay_finds_the_same_violations():
+    auditor = make_auditor()
+    grant_path(auditor, 1)
+    feed(auditor, "flag_write", 1, stamp=(1 * T, "n0"), flag=True, reason="forced")
+    buffer = io.StringIO()
+    write_audit_jsonl(auditor, buffer)
+    buffer.seek(0)
+    replayed = replay_audit(buffer)
+    assert replayed.violation_counts == auditor.violation_counts
+    assert replayed.violations[0].invariant == "ForcedReleaseDelta"
+
+
+def test_audit_event_dict_roundtrip():
+    event = AuditEvent(
+        seq=3, t_ms=1.5, kind="critical_put", key="k", node="n0",
+        lock_ref=2, stamp=(2 * T + 1.0, "n0"), trace_id=7, span_id=9,
+        fields={"value": "v"},
+    )
+    assert AuditEvent.from_dict(event.to_dict()) == event
+
+
+# -- reporting ----------------------------------------------------------------
+
+
+def test_report_names_invariant_and_spans():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    feed(auditor, "critical_put", 1, stamp=(1 * T + 1.0, "n0"), value="x")
+    report = auditor.render_report()
+    assert "Exclusivity" in report
+    assert "never granted" in report
+    assert "after:" in report  # the per-key event trace
+
+
+def test_render_span_tree_marks_guilty_spans():
+    spans = [
+        SpanRecord(trace_id=1, span_id=2, parent_id=None, name="music.cs",
+                   node="c0", site="Ohio", start_ms=0.0, end_ms=10.0),
+        SpanRecord(trace_id=1, span_id=3, parent_id=2, name="music.criticalPut",
+                   node="m0", site="Ohio", start_ms=1.0, end_ms=9.0),
+    ]
+    tree = render_span_tree(spans, trace_id=1, highlight={3})
+    assert "music.cs" in tree
+    assert "▶" in tree.splitlines()[2]  # the criticalPut line is marked
+    assert render_span_tree(spans, trace_id=99) == "  (no spans recorded for trace 99)"
+
+
+# -- shared ViolationRecord format --------------------------------------------
+
+
+def test_runtime_and_model_violations_share_one_format():
+    auditor = make_auditor()
+    feed(auditor, "enqueue", 1)
+    feed(auditor, "enqueue", 1)
+    runtime = auditor.violations[0]
+    model = Violation("MutualExclusion", state=None, trace=["e1", "e2"]).record
+    assert isinstance(runtime, ViolationRecord)
+    assert isinstance(model, ViolationRecord)
+    assert runtime.source == "runtime"
+    assert model.source == "model"
+    for record in (runtime, model):
+        assert record.render().startswith(f"invariant {record.invariant!r} violated")
+        assert ViolationRecord.from_dict(record.to_dict()) == record
+
+
+# -- the null object -----------------------------------------------------------
+
+
+def test_null_audit_is_inert():
+    assert NULL_AUDIT.enabled is False
+    NULL_AUDIT.emit("enqueue", key="k", lock_ref=1)
+    assert NULL_AUDIT.events == []
+    assert NULL_AUDIT.violations == []

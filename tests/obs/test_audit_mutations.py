@@ -1,0 +1,149 @@
+"""Mutation regression tests: each seeded ECF bug must be *caught*.
+
+A clean audit only means something if a broken implementation fails it.
+Each test here re-introduces one of the paper's Section IV-B hazards —
+δ=0 forcedRelease stamps, a skipped acquire-time synchronization, a
+forcedRelease that dequeues without the quorum flag write, and a
+bypassed queue-head guard — and asserts the auditor flags it with a
+violation naming the invariant and carrying the guilty trace spans.
+"""
+
+from repro import MusicConfig, build_music
+from repro.core.replica import MusicReplica
+from tests.helpers import run
+
+
+def fault_run(seed=31, **build_kw):
+    """A false-failure-detection scenario: an isolated-but-alive Ohio
+    lockholder is preempted by the detectors, then Oregon takes over."""
+    config = MusicConfig(
+        failure_detection_enabled=True,
+        detector_scan_interval_ms=1_000.0,
+        lease_timeout_ms=3_000.0,
+        orphan_timeout_ms=3_000.0,
+        **build_kw.pop("config_kw", {}),
+    )
+    music = build_music(music_config=config, seed=seed, audit=True, **build_kw)
+    sim, net = music.sim, music.network
+    ohio, oregon = music.client("Ohio"), music.client("Oregon")
+
+    def setup():
+        cs = yield from ohio.critical_section("k")
+        yield from cs.put("A")
+        # ...and never exits: the holder stalls while Ohio is isolated.
+
+    run(sim, setup())
+    net.isolate_site("Ohio")
+    sim.run(until=sim.now + 10_000.0)  # detectors preempt the holder
+
+    def takeover():
+        cs = yield from oregon.critical_section("k", timeout_ms=60_000.0)
+        yield from cs.get()
+        yield from cs.put("B")
+        yield from cs.exit()
+
+    run(sim, takeover())
+    net.heal_all()
+    sim.run(until=sim.now + 2_000.0)
+    return music
+
+
+def assert_caught(auditor, invariant):
+    assert invariant in auditor.violation_counts, auditor.violation_counts
+    offenders = [v for v in auditor.violations if v.invariant == invariant]
+    assert offenders, "violation records were capped away"
+    for violation in offenders:
+        assert violation.source == "runtime"
+        assert violation.invariant == invariant  # names the invariant...
+        assert violation.trace_spans  # ...and the guilty spans
+        assert violation.trace  # ...and the key's event history
+    return offenders[0]
+
+
+def test_unmutated_run_is_clean():
+    """The baseline: the same scenario audits clean without a mutant."""
+    music = fault_run()
+    assert music.auditor.clean, music.auditor.render_report()
+    # The preemption actually happened (the mutants below rely on it).
+    kinds = {event.kind for event in music.auditor.events}
+    assert "forced_release" in kinds
+    assert "sync" in kinds
+
+
+def test_delta_zero_forced_release_is_caught():
+    """δ=0 stamps tie the forced flag write with the released holder's
+    own reset — the exact race the Section IV-B rule exists to break."""
+    music = fault_run(config_kw=dict(delta=0.0))
+    violation = assert_caught(music.auditor, "ForcedReleaseDelta")
+    assert "δ=0" in violation.detail
+
+
+def test_skipped_acquire_sync_is_caught():
+    class NoSyncReplica(MusicReplica):
+        def _synchronize(self, key, lock_ref):
+            return iter(())  # "optimize away" the acquire-time sync
+
+    music = fault_run(replica_class=NoSyncReplica)
+    violation = assert_caught(music.auditor, "SyncRequired")
+    assert "without synchronizing" in violation.detail
+
+
+def test_release_without_quorum_flag_write_is_caught():
+    class NoQuorumRelease(MusicReplica):
+        def forced_release(self, key, lock_ref):
+            # Dequeue the presumed-failed holder without first
+            # completing the synchFlag quorum write.
+            entry = yield from self.lock_store.peek(key)
+            if entry is not None and lock_ref < entry.lock_ref:
+                return True
+            self.counters["forced_releases"] += 1
+            with self.obs.tracer.span(
+                "music.forcedRelease", node=self.node_id, site=self.site,
+                key=key,
+            ):
+                yield from self.lock_store.dequeue(key, lock_ref)
+                audit = self.obs.audit
+                if audit.enabled:
+                    audit.emit(
+                        "forced_release", key=key, node=self.node_id,
+                        lock_ref=lock_ref,
+                        stamp=self._stamp(lock_ref + self.config.delta, 0.0),
+                    )
+            return True
+
+    music = fault_run(replica_class=NoQuorumRelease)
+    violation = assert_caught(music.auditor, "ForcedReleaseOrder")
+    assert "without first" in violation.detail
+
+
+def test_bypassed_queue_head_guard_is_caught():
+    class UnguardedReplica(MusicReplica):
+        def _guard(self, key, lock_ref):
+            return True  # skip the lockRef-vs-queue-head check
+            yield
+
+    music = fault_run(replica_class=UnguardedReplica)
+    sim = music.sim
+
+    def intruder():
+        # A criticalPut under a lockRef that was never granted.  The
+        # real guard returns proceed=False for it; the mutant lets the
+        # quorum write through, which the auditor must flag.
+        replica = music.replicas[0]
+        yield from replica.critical_put("k", 99, "INTRUDER")
+
+    run(sim, intruder())
+    violation = assert_caught(music.auditor, "Exclusivity")
+    assert "never granted" in violation.detail
+    assert violation.lock_ref == 99
+
+
+def test_mutant_violations_render_with_span_trees():
+    """The report pipeline end-to-end: a caught mutant's report names
+    the invariant and renders the guilty span tree with ▶ markers."""
+    music = fault_run(config_kw=dict(delta=0.0))
+    spans = music.network.obs.tracer.spans
+    report = music.auditor.render_report(spans=spans)
+    assert "ForcedReleaseDelta" in report
+    assert "span tree of trace" in report
+    assert "▶" in report

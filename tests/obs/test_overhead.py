@@ -15,7 +15,7 @@ Two guarantees:
 import time
 
 from repro.core import build_music
-from repro.obs import NULL_OBS
+from repro.obs import NULL_AUDIT, NULL_OBS
 from tests.helpers import run
 
 
@@ -39,6 +39,32 @@ def test_observability_does_not_change_simulated_time():
     baseline = _workload(build_music(seed=5))
     observed = _workload(build_music(seed=5, obs=True))
     assert observed == baseline
+
+
+def test_auditor_does_not_change_simulated_time():
+    """Audit emission is pure recording (no yields, sleeps, or RNG), so
+    attaching the auditor leaves every simulated timing bit-identical."""
+    baseline = _workload(build_music(seed=5))
+    audited_deployment = build_music(seed=5, audit=True)
+    audited = _workload(audited_deployment)
+    assert audited == baseline
+    assert audited_deployment.auditor.events  # it really was recording
+    assert audited_deployment.auditor.clean
+
+
+def test_null_audit_emission_site_is_near_free():
+    """An un-audited run pays two attribute lookups and a falsy branch
+    per emission site; the NULL_AUDIT guard pattern stays ~ns per op."""
+    obs = NULL_OBS
+    rounds = 200_000
+    started = time.perf_counter()
+    for _ in range(rounds):
+        audit = obs.audit  # the exact call-site pattern
+        if audit.enabled:
+            audit.emit("grant", key="k", lock_ref=1)
+    elapsed = time.perf_counter() - started
+    assert elapsed < rounds * 5e-6, f"null audit too slow: {elapsed:.3f}s"
+    assert NULL_AUDIT.events == []
 
 
 def test_disabled_recorder_is_near_free():

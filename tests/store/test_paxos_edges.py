@@ -175,3 +175,75 @@ def test_unknown_consistency_rejected():
         return "checked"
 
     assert run(sim, scenario()) == "checked"
+
+
+def test_prepare_reports_latest_commit_ballot():
+    sim, _net, cluster, (host,) = make_store()
+    replica = cluster.replicas[0]
+    mutation = [Update("locks", "k", "g", {"v": 1}, (1.0, "a"))]
+
+    def scenario():
+        first = yield from host.call(
+            replica.node_id, "paxos_prepare",
+            {"table": "locks", "partition": "k", "ballot": (10, "a")},
+        )
+        yield from host.call(
+            replica.node_id, "paxos_commit",
+            {"table": "locks", "partition": "k", "ballot": (10, "a"),
+             "mutation": mutation},
+        )
+        after = yield from host.call(
+            replica.node_id, "paxos_prepare",
+            {"table": "locks", "partition": "k", "ballot": (11, "b")},
+        )
+        return first, after
+
+    first, after = run(sim, scenario())
+    assert first["latest_commit"] is None
+    assert after["latest_commit"] == (10, "a")
+
+
+def test_coordinator_discards_in_progress_older_than_a_commit():
+    """The zombie-proposal hole the runtime ECF auditor caught: a
+    partially-accepted proposal that lost its ballot race must not be
+    resurrected by its own proposer after a competing CAS committed —
+    otherwise two clients can both see applied=True for the same
+    conditional insert (two holders of one lockRef).
+
+    Setup: replica 0 holds an orphaned accept at ballot 10 while a
+    competing CAS at ballot 20 was committed cluster-wide.  A fresh CAS
+    whose condition no longer holds must be rejected, not resurrect the
+    ballot-10 leftover.
+    """
+    sim, _net, cluster, (host,) = make_store()
+    coordinator = cluster.coordinator_for(host)
+    table, partition = "locks", "k"
+
+    stale = [Update(table, partition, "g", {"v": "stale"}, (1.0, "a"), op_id="a#1")]
+    won = [Update(table, partition, "g", {"v": "won"}, (2.0, "b"), op_id="b#1")]
+
+    def scenario():
+        # The orphan: accepted at one replica only, never committed.
+        yield from host.call(
+            cluster.replicas[0].node_id, "paxos_propose",
+            {"table": table, "partition": partition, "ballot": (10, "a"),
+             "mutation": stale},
+        )
+        # The competing CAS that won: committed everywhere.
+        for replica in cluster.replicas:
+            yield from host.call(
+                replica.node_id, "paxos_commit",
+                {"table": table, "partition": partition, "ballot": (20, "b"),
+                 "mutation": won},
+            )
+        result = yield from coordinator.cas(
+            table, partition,
+            Condition("col_eq", "g", column="v", expected=None),
+            [Update(table, partition, "g", {"v": "late"}, (3.0, "c"), op_id="c#1")],
+        )
+        row = cluster.replicas[0].local_row(table, partition, "g")
+        return result, row.visible_values()
+
+    result, values = run(sim, scenario())
+    assert result.applied is False  # condition v==None no longer holds
+    assert values == {"v": "won"}  # the stale proposal was NOT resurrected

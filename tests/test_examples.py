@@ -12,6 +12,7 @@ EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 
 def test_examples_directory_has_the_promised_scripts():
     assert "quickstart.py" in EXAMPLES
+    assert "audited_fault_run.py" in EXAMPLES
     assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
 
 
@@ -20,3 +21,11 @@ def test_example_runs_to_completion(script, capsys):
     runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
     output = capsys.readouterr().out
     assert output.strip(), f"{script} printed nothing"
+
+
+def test_audited_fault_run_reports_a_clean_audit(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "audited_fault_run.py"),
+                   run_name="__main__")
+    output = capsys.readouterr().out
+    assert "clean audit: all ECF invariants held" in output
+    assert "offline replay" in output
