@@ -1,0 +1,5 @@
+"""Regenerate the storage-durability baseline (BENCH_storage.json)."""
+
+
+def test_storage_durability(regenerate):
+    regenerate("storage_durability")

@@ -44,6 +44,18 @@ class MusicDeployment:
                 return replica
         raise KeyError(f"no MUSIC replica at site {site!r}")
 
+    def fault_schedule(self) -> "FaultSchedule":  # noqa: F821 - lazy import
+        """A :class:`~repro.faults.FaultSchedule` pre-wired with this
+        deployment's node registry, so ``restart_at`` (crash with real
+        state loss + commit-log replay) and the durability knobs can
+        resolve node ids like ``"store-1-0"`` to live nodes."""
+        from ..faults import FaultSchedule
+
+        nodes = dict(self.store.by_id)
+        for replica in self.replicas:
+            nodes[replica.node_id] = replica
+        return FaultSchedule(self.sim, self.network, nodes=nodes)
+
     def client(self, site: str, client_id: Optional[str] = None) -> MusicClient:
         if client_id is None:
             seq = self._client_seq.get(site, 0)
@@ -71,6 +83,7 @@ def build_music(
     cores: int = 8,
     obs=None,
     audit: bool = False,
+    wal_sync: Optional[str] = None,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
@@ -85,6 +98,10 @@ def build_music(
     :class:`~repro.obs.ECFAuditor` (implying ``obs``): every ECF-relevant
     operation is checked online and the auditor is returned as
     ``deployment.auditor``.
+
+    ``wal_sync`` overrides the store replicas' commit-log sync mode
+    (``"always"`` / ``"periodic"`` / ``"off"``) — the durability axis of
+    the storage engine; see :class:`~repro.storage.StorageEngineConfig`.
     """
     profile = PAPER_PROFILES[profile_name]
     sim = sim or Simulator()
@@ -102,6 +119,11 @@ def build_music(
         replication_factor=len(profile.site_names)
     )
     store_config.anti_entropy_enabled = anti_entropy
+    if wal_sync is not None:
+        # Convenience durability axis: replicas copy the engine config
+        # at construction, so set it before build_cluster runs.
+        store_config.storage.wal_sync = wal_sync
+        store_config.storage.validate()
     music_config = music_config or MusicConfig()
     if failure_detection is not None:
         music_config.failure_detection_enabled = failure_detection

@@ -22,9 +22,9 @@ actually fired, for assertions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import Callable, List, Mapping, Optional, Tuple
 
-from ..net import Network
+from ..net import Network, Node
 from ..sim import Simulator
 
 __all__ = ["FaultSchedule", "flaky_link_profile"]
@@ -32,13 +32,44 @@ __all__ = ["FaultSchedule", "flaky_link_profile"]
 
 @dataclass
 class FaultSchedule:
-    """A list of timed fault actions against one network."""
+    """A list of timed fault actions against one network.
+
+    ``crash_at``/``recover_at`` act at the *network* level (the node
+    goes silent but keeps its memory — an unreachable-but-alive node).
+    ``restart_at`` and the durability knobs need the actual
+    :class:`~repro.net.node.Node` objects, so construct the schedule
+    with a ``nodes`` registry (or use
+    :meth:`~repro.core.deployment.MusicDeployment.fault_schedule`).
+    """
 
     sim: Simulator
     network: Network
+    nodes: Optional[Mapping[str, Node]] = None
     actions: List[Tuple[float, str, Callable[[], None]]] = field(default_factory=list)
     log: List[Tuple[float, str]] = field(default_factory=list)
     _armed: bool = False
+
+    def _node(self, node_id: str) -> Node:
+        if self.nodes is None or node_id not in self.nodes:
+            raise KeyError(
+                f"FaultSchedule has no Node registry entry for {node_id!r}; "
+                "construct it with nodes={...} or via "
+                "MusicDeployment.fault_schedule()"
+            )
+        return self.nodes[node_id]
+
+    def _engines(self, node_id: Optional[str]) -> List:
+        if self.nodes is None:
+            raise KeyError(
+                "durability knobs need a Node registry; construct the "
+                "schedule with nodes={...} or via "
+                "MusicDeployment.fault_schedule()"
+            )
+        if node_id is not None:
+            return [self._node(node_id).engine]
+        return [
+            node.engine for node in self.nodes.values() if hasattr(node, "engine")
+        ]
 
     def _add(self, when: float, label: str, action: Callable[[], None]) -> "FaultSchedule":
         if self._armed:
@@ -77,6 +108,68 @@ class FaultSchedule:
     def recover_at(self, when: float, node_id: str) -> "FaultSchedule":
         return self._add(when, f"recover {node_id}",
                          lambda: self.network.recover_node(node_id))
+
+    # -- restarts with real state loss -------------------------------------------
+
+    def restart_at(
+        self,
+        when: float,
+        node_id: str,
+        down_ms: float = 0.0,
+        preserve_memory: bool = False,
+    ) -> "FaultSchedule":
+        """Crash ``node_id`` at ``when`` — losing its volatile state —
+        and begin recovery ``down_ms`` later.
+
+        Recovery replays the node's durable commit log on the simulated
+        clock, so the node rejoins only after ``when + down_ms +
+        replay_time``.  ``preserve_memory=True`` degrades to the legacy
+        suspend/resume semantics (see :meth:`Node.crash`).
+        """
+        self._node(node_id)  # fail fast on a missing registry entry
+        self._add(
+            when, f"restart {node_id} (crash)",
+            lambda: self._node(node_id).crash(preserve_memory=preserve_memory),
+        )
+        return self._add(
+            when + down_ms, f"restart {node_id} (recover)",
+            lambda: self._node(node_id).recover(),
+        )
+
+    # -- durability knobs ---------------------------------------------------------
+
+    def set_wal_sync_at(
+        self,
+        when: float,
+        mode: str,
+        node_id: Optional[str] = None,
+        interval_ms: Optional[float] = None,
+    ) -> "FaultSchedule":
+        """Flip the commit-log sync mode of one engine-backed node (or,
+        with ``node_id=None``, of every node that has an engine)."""
+
+        def apply() -> None:
+            for engine in self._engines(node_id):
+                engine.config.wal_sync = mode
+                if interval_ms is not None:
+                    engine.config.wal_sync_interval_ms = interval_ms
+                engine.config.validate()
+
+        return self._add(when, f"wal_sync={mode} {node_id or 'all'}", apply)
+
+    def set_paxos_journal_at(
+        self, when: float, enabled: bool, node_id: Optional[str] = None
+    ) -> "FaultSchedule":
+        """Toggle Paxos acceptor-state journaling — the deliberate
+        safety mutation the ECF auditor must catch when disabled."""
+
+        def apply() -> None:
+            for engine in self._engines(node_id):
+                engine.config.journal_paxos = enabled
+
+        return self._add(
+            when, f"journal_paxos={enabled} {node_id or 'all'}", apply
+        )
 
     # -- message loss ---------------------------------------------------------------
 

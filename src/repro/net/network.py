@@ -130,10 +130,26 @@ class Network:
     # -- failures and partitions ----------------------------------------------
 
     def fail_node(self, node_id: str) -> None:
-        """Crash-stop: the node no longer sends or receives anything."""
+        """Connectivity-level crash-stop: the node no longer sends or
+        receives anything (messages are dropped at arrival time).
+
+        This toggles *membership only* and says nothing about memory.
+        The volatile-loss contract lives on the node:
+        :meth:`~repro.net.node.Node.crash` discards volatile state by
+        default (with a ``preserve_memory=True`` escape hatch), while
+        calling ``fail_node`` directly models an unreachable-but-alive
+        node — the false-failure-detection scenario of Section IV-B.
+        """
         self._endpoints[node_id].failed = True
 
     def recover_node(self, node_id: str) -> None:
+        """Re-admit a failed node, state untouched.
+
+        The counterpart of :meth:`fail_node`: connectivity only.  Nodes
+        with durable storage rejoin via
+        :meth:`~repro.net.node.Node.recover`, which replays their
+        commit log *before* calling this.
+        """
         self._endpoints[node_id].failed = False
 
     def is_failed(self, node_id: str) -> bool:

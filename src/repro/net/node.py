@@ -63,12 +63,58 @@ class Node:
             return
         self._serve_process = self.sim.process(self._serve(), name=f"serve:{self.node_id}")
 
-    def crash(self) -> None:
-        """Crash-stop this node: traffic is dropped, state is frozen."""
+    def crash(self, preserve_memory: bool = False) -> None:
+        """Crash-stop this node: traffic is dropped and volatile state is lost.
+
+        The contract (paper Section III: crash failures, not fail-stop
+        amnesia of *everything*): in-flight and future traffic is
+        dropped, and whatever the node holds only in memory is gone —
+        subclasses declare their volatile state via
+        :meth:`_discard_volatile` (a :class:`~repro.store.replica.
+        StorageReplica` drops its memtable, Paxos acceptor dict and
+        unsynced commit-log tail; a plain node has nothing modelled as
+        volatile, so nothing is lost).  Durable state — a storage
+        engine's synced commit log and flushed segments — survives and
+        is replayed by :meth:`recover`.
+
+        ``preserve_memory=True`` is the legacy escape hatch: the node
+        goes silent but keeps RAM intact, which models a *suspended*
+        process (GC pause, VM migration) rather than a real crash, and
+        is what older tests built their expectations on.
+        """
         self.network.fail_node(self.node_id)
+        if not preserve_memory:
+            self._discard_volatile()
 
     def recover(self) -> None:
-        """Rejoin the network with whatever state survived the crash."""
+        """Replay durable state, then rejoin the network.
+
+        If :meth:`_replay_durable` returns a generator (a storage
+        engine's commit-log replay), it runs first on the simulated
+        clock — the node stays unreachable until replay finishes, so
+        recovery time is part of the availability story.  Plain nodes
+        rejoin immediately with whatever state survived the crash.
+        """
+        replay = self._replay_durable()
+        if replay is None:
+            self.network.recover_node(self.node_id)
+            return
+        self.sim.process(self._replay_then_join(replay), name=f"recover:{self.node_id}")
+
+    def _discard_volatile(self) -> None:
+        """Hook: drop state that does not survive a crash.
+
+        The base node models no durable/volatile split, so this is a
+        no-op; stateful subclasses override it.
+        """
+
+    def _replay_durable(self) -> Optional[Generator[Any, Any, None]]:
+        """Hook: a generator that rebuilds state from durable storage
+        (run before the node rejoins the network), or None."""
+        return None
+
+    def _replay_then_join(self, replay: Generator[Any, Any, None]) -> Generator[Any, Any, None]:
+        yield from replay
         self.network.recover_node(self.node_id)
 
     @property

@@ -1,0 +1,30 @@
+"""repro.storage — a per-replica durable storage engine.
+
+Models Cassandra's write path (commit log → memtable → immutable
+segments with size-tiered compaction) so that crash faults actually
+lose the state they should: :class:`StorageEngine` splits a replica's
+state into a volatile column that ``crash()`` discards and a durable
+column that ``recover()`` deterministically replays, with the fsync
+cost of each ``wal_sync`` mode charged on the simulated clock.
+
+:class:`~repro.store.replica.StorageReplica` (and, through it, the
+MUSIC lock store's guard/queue partitions and LWT Paxos acceptor
+state) is built on this engine.
+"""
+
+from .config import StorageEngineConfig, WAL_SYNC_MODES
+from .engine import PaxosState, StorageEngine
+from .segment import Segment, size_tier
+from .wal import CommitLog, WalRecord, dump_wal_jsonl
+
+__all__ = [
+    "CommitLog",
+    "PaxosState",
+    "Segment",
+    "StorageEngine",
+    "StorageEngineConfig",
+    "WAL_SYNC_MODES",
+    "WalRecord",
+    "dump_wal_jsonl",
+    "size_tier",
+]

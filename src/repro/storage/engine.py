@@ -1,0 +1,554 @@
+"""The per-replica durable storage engine (Cassandra's write path).
+
+The engine owns everything a :class:`~repro.store.replica.StorageReplica`
+used to keep in bare dicts, split along the volatile/durable line the
+paper's Section III crash model requires:
+
+========================  =======================================
+volatile (lost on crash)  memtable, Paxos acceptor dict, the
+                          unsynced commit-log tail, background
+                          sync/compaction daemons
+durable (survives)        the synced commit-log prefix, flushed
+                          segments
+========================  =======================================
+
+Write path (one journaled batch = one group commit)::
+
+    commit log append  →  fsync per wal_sync mode  →  memtable apply
+                                                   →  flush at threshold
+                                                   →  size-tiered compaction
+
+``crash()`` discards the volatile column; ``recover()`` replays the
+durable commit log in LSN order, charging ``bytes / replay_bytes_per_ms``
+on the simulated clock and reporting replay time/bytes through
+``repro.obs`` metrics and a ``storage.recover`` span.  Replay is
+deterministic: the same durable prefix always rebuilds bit-identical
+state, and paxos snapshots are last-writer-wins so replaying a prefix
+twice is a no-op.
+
+The engine deliberately spawns **no perpetual processes**: the periodic
+WAL sync and the compactor are demand-driven daemons that exit once
+their queue drains, so simulations that run the event heap dry still
+terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..obs import NULL_OBS
+from .config import StorageEngineConfig
+from .segment import Segment, size_tier
+from .wal import CommitLog
+
+__all__ = ["StorageEngine", "PaxosState"]
+
+# Ballot / Mutation are structural (tuples / lists of Update objects);
+# importing them from repro.store here would be circular, since
+# repro.store.replica builds on this module.
+Ballot = Tuple[int, str]
+
+_ROW_CLS = None
+
+
+def _row_cls():
+    """Lazy Row import: repro.store.replica imports this module, so the
+    reverse edge must not exist at import time."""
+    global _ROW_CLS
+    if _ROW_CLS is None:
+        from ..store.types import Row
+
+        _ROW_CLS = Row
+    return _ROW_CLS
+
+
+def _rows_size_bytes(rows: Dict[Any, Any]) -> int:
+    from ..store.types import payload_size
+
+    total = 32
+    for row in rows.values():
+        total += 16
+        for cell in row.cells.values():
+            total += payload_size(cell.value) + 16
+    return total
+
+
+@dataclass
+class PaxosState:
+    """Single-decree Paxos acceptor state for one (table, partition).
+
+    This is the state Cassandra persists in its ``system.paxos`` table;
+    journaling it through the commit log (``journal_paxos=True``) is
+    what makes LWT promises and accepted proposals survive a restart.
+    """
+
+    promised: Optional[Ballot] = None
+    accepted: Optional[Tuple[Ballot, list]] = None
+    committed_ballots: set = field(default_factory=set)
+    # The newest ballot this replica has committed; reported in prepare
+    # replies so coordinators can discard obsolete in-progress proposals
+    # (mirrors Cassandra's most-recent-commit tracking).
+    latest_commit: Optional[Ballot] = None
+
+
+class StorageEngine:
+    """Commit log + memtable + immutable segments for one replica."""
+
+    def __init__(
+        self,
+        sim: Any,
+        config: Optional[StorageEngineConfig] = None,
+        node_id: str = "storage",
+        obs: Any = NULL_OBS,
+    ) -> None:
+        self.sim = sim
+        # Private copy: per-node durability knobs (FaultSchedule's
+        # set_wal_sync_at, mutation tests) must not leak across replicas
+        # sharing one StoreConfig.
+        self.config = replace(config) if config is not None else StorageEngineConfig()
+        self.config.validate()
+        self.node_id = node_id
+        self.obs = obs
+        self.wal = CommitLog()
+        # memtable[table][partition_key][clustering] -> Row
+        self.memtable: Dict[str, Dict[str, Dict[Any, Any]]] = {}
+        self.memtable_bytes = 0
+        self.segments: List[Segment] = []
+        self.paxos: Dict[Tuple[str, str], PaxosState] = {}
+        self.crashed = False
+        self._next_segment_id = 1
+        # Bumped on every crash; stale daemons and mid-merge compactions
+        # observe the mismatch and abandon their work.
+        self._epoch = 0
+        self._sync_looping = False
+        self._compacting = False
+        # LSNs journaled but not yet applied (a batch waiting out its
+        # fsync); a flush may not checkpoint past the oldest of these.
+        self._pending_lsns: set = set()
+        self.stats: Dict[str, Any] = {
+            "fsyncs": 0,
+            "synced_bytes": 0,
+            "flushes": 0,
+            "compactions": 0,
+            "segments_merged": 0,
+            "crashes": 0,
+            "lost_records": 0,
+            "lost_bytes": 0,
+            "replays": 0,
+            "last_replay_ms": 0.0,
+            "last_replay_bytes": 0,
+            "last_replay_records": 0,
+        }
+
+    # -- write path ----------------------------------------------------------
+
+    def commit(
+        self,
+        updates: List[Any],
+        paxos: Optional[Tuple[Tuple[str, str], PaxosState]] = None,
+    ) -> Generator[Any, Any, None]:
+        """Journal and apply one batch (group commit: one fsync).
+
+        ``updates`` is a list of Update/DeleteRow; ``paxos`` optionally
+        piggybacks an acceptor-state snapshot on the same fsync.  The
+        memtable apply happens only after the batch is durable per the
+        sync mode, so an acknowledged write is never lost under
+        ``wal_sync="always"``.
+        """
+        if self.crashed:
+            return
+        first_lsn = None
+        for update in updates:
+            kind = "update" if hasattr(update, "columns") else "delete"
+            record = self.wal.append(kind, update, update.size_bytes())
+            if first_lsn is None:
+                first_lsn = record.lsn
+        if paxos is not None and self.config.journal_paxos:
+            key, state = paxos
+            size = 48
+            if state.accepted is not None:
+                size += sum(u.size_bytes() for u in state.accepted[1])
+            record = self.wal.append(
+                "paxos", (key, state.promised, state.accepted, state.latest_commit), size
+            )
+            if first_lsn is None:
+                first_lsn = record.lsn
+        if first_lsn is not None:
+            self._pending_lsns.add(first_lsn)
+            try:
+                yield from self._sync_point()
+            finally:
+                self._pending_lsns.discard(first_lsn)
+            if self.crashed:
+                return
+        for update in updates:
+            self._apply(update)
+        if updates:
+            self._maybe_flush()
+
+    def journal_paxos(
+        self, key: Tuple[str, str], state: PaxosState
+    ) -> Generator[Any, Any, None]:
+        """Journal one acceptor-state snapshot (durable per sync mode)."""
+        yield from self.commit([], paxos=(key, state))
+
+    def merge_rows(
+        self, table: str, partition_key: str, rows: Dict[Any, Any]
+    ) -> Generator[Any, Any, None]:
+        """Journal and apply an anti-entropy merge batch."""
+        if self.crashed or not rows:
+            return
+        size = _rows_size_bytes(rows)
+        record = self.wal.append("rows", (table, partition_key, rows), size)
+        self._pending_lsns.add(record.lsn)
+        try:
+            yield from self._sync_point()
+        finally:
+            self._pending_lsns.discard(record.lsn)
+        if self.crashed:
+            return
+        self._merge(table, partition_key, rows, size)
+        self._maybe_flush()
+
+    def paxos_state(self, table: str, partition_key: str) -> PaxosState:
+        return self.paxos.setdefault((table, partition_key), PaxosState())
+
+    def _apply(self, update: Any) -> None:
+        partition = self.memtable.setdefault(update.table, {}).setdefault(
+            update.partition, {}
+        )
+        row = partition.setdefault(update.clustering, _row_cls()())
+        if hasattr(update, "columns"):
+            for column, value in update.columns.items():
+                row.apply_cell(column, value, update.stamp, update.op_id)
+        else:
+            row.delete(update.stamp)
+        self.memtable_bytes += update.size_bytes()
+
+    def _merge(
+        self, table: str, partition_key: str, rows: Dict[Any, Any], size: int
+    ) -> None:
+        partition = self.memtable.setdefault(table, {}).setdefault(partition_key, {})
+        for clustering, row in rows.items():
+            existing = partition.setdefault(clustering, _row_cls()())
+            existing.merge_from(row)
+        self.memtable_bytes += size
+
+    # -- fsync ---------------------------------------------------------------
+
+    def _sync_point(self) -> Generator[Any, Any, None]:
+        mode = self.config.wal_sync
+        if mode == "always":
+            latency = self.config.fsync_latency_ms
+            if latency > 0.0:
+                yield self.sim.timeout(latency)
+                if self.crashed:
+                    return
+            self._fsync()
+        elif mode == "periodic":
+            self._ensure_sync_loop()
+        elif mode != "off":
+            raise ValueError(f"unknown wal_sync mode {mode!r}")
+
+    def _fsync(self) -> None:
+        newly_synced = self.wal.sync()
+        self.stats["fsyncs"] += 1
+        self.stats["synced_bytes"] += newly_synced
+        if self.obs.enabled:
+            self.obs.metrics.counter("storage.wal.fsyncs", node=self.node_id).inc()
+
+    def _ensure_sync_loop(self) -> None:
+        if self._sync_looping or self.crashed:
+            return
+        self._sync_looping = True
+        self.sim.process(
+            self._sync_loop(self._epoch), name=f"walsync:{self.node_id}"
+        )
+
+    def _sync_loop(self, epoch: int) -> Generator[Any, Any, None]:
+        # Demand-driven daemon: syncs every interval while there is an
+        # unsynced tail, then exits (so idle sims drain their heaps).
+        while not self.crashed and self._epoch == epoch:
+            yield self.sim.timeout(self.config.wal_sync_interval_ms)
+            if self.crashed or self._epoch != epoch:
+                return
+            if self.wal.unsynced_count:
+                self._fsync()
+            if not self.wal.unsynced_count:
+                break
+        if self._epoch == epoch:
+            self._sync_looping = False
+
+    # -- flush & compaction --------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        if self.memtable_bytes >= self.config.memtable_flush_bytes:
+            self.flush()
+
+    def flush(self) -> Optional[Segment]:
+        """Swap the memtable into an immutable segment; checkpoint the log.
+
+        The swap is atomic with respect to the event loop (a real flush
+        streams asynchronously; readers keep seeing the union either
+        way).  The commit log is truncated through the highest LSN the
+        segment covers, except batches still waiting out their fsync.
+        """
+        if not self.memtable:
+            return None
+        row_count = sum(
+            len(rows)
+            for partitions in self.memtable.values()
+            for rows in partitions.values()
+        )
+        barrier = self.wal.last_lsn
+        if self._pending_lsns:
+            barrier = min(barrier, min(self._pending_lsns) - 1)
+        segment = Segment(
+            segment_id=self._next_segment_id,
+            tables=self.memtable,
+            size_bytes=max(self.memtable_bytes, 1),
+            row_count=row_count,
+            created_at=self.sim.now,
+            max_lsn=barrier,
+        )
+        self._next_segment_id += 1
+        self.segments.append(segment)
+        self.memtable = {}
+        self.memtable_bytes = 0
+        self.wal.truncate_through(segment.max_lsn)
+        self.stats["flushes"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("storage.flushes", node=self.node_id).inc()
+            self.obs.metrics.gauge("storage.segments", node=self.node_id).set(
+                len(self.segments)
+            )
+        if self.config.compaction_enabled:
+            self._ensure_compaction()
+        return segment
+
+    def _pick_tier(self) -> Optional[List[Segment]]:
+        if len(self.segments) < self.config.compaction_min_segments:
+            return None
+        tiers: Dict[int, List[Segment]] = {}
+        for segment in self.segments:
+            tier = size_tier(segment.size_bytes, self.config.compaction_tier_factor)
+            tiers.setdefault(tier, []).append(segment)
+        for tier in sorted(tiers):
+            group = tiers[tier]
+            if len(group) >= self.config.compaction_min_segments:
+                return sorted(group, key=lambda s: s.segment_id)
+        return None
+
+    def _ensure_compaction(self) -> None:
+        if self._compacting or self.crashed or self._pick_tier() is None:
+            return
+        self._compacting = True
+        self.sim.process(
+            self._compaction_loop(self._epoch), name=f"compact:{self.node_id}"
+        )
+
+    def _compaction_loop(self, epoch: int) -> Generator[Any, Any, None]:
+        while not self.crashed and self._epoch == epoch:
+            group = self._pick_tier()
+            if group is None:
+                break
+            rate = self.config.compaction_bytes_per_ms
+            duration = sum(s.size_bytes for s in group) / rate if rate > 0 else 0.0
+            if duration > 0:
+                yield self.sim.timeout(duration)
+            if self.crashed or self._epoch != epoch:
+                return  # the half-written output of a crashed merge is garbage
+            self._merge_segments(group)
+        if self._epoch == epoch:
+            self._compacting = False
+
+    def _merge_segments(self, group: List[Segment]) -> None:
+        row_cls = _row_cls()
+        merged_tables: Dict[str, Dict[str, Dict[Any, Any]]] = {}
+        row_count = 0
+        for segment in group:
+            for table, partitions in segment.tables.items():
+                for partition_key, rows in partitions.items():
+                    target = merged_tables.setdefault(table, {}).setdefault(
+                        partition_key, {}
+                    )
+                    for clustering, row in rows.items():
+                        if clustering not in target:
+                            target[clustering] = row_cls()
+                            row_count += 1
+                        target[clustering].merge_from(row)
+        merged = Segment(
+            segment_id=self._next_segment_id,
+            tables=merged_tables,
+            size_bytes=sum(s.size_bytes for s in group),
+            row_count=row_count,
+            created_at=self.sim.now,
+            max_lsn=max(s.max_lsn for s in group),
+        )
+        self._next_segment_id += 1
+        group_ids = {id(segment) for segment in group}
+        self.segments = [s for s in self.segments if id(s) not in group_ids]
+        self.segments.append(merged)
+        self.stats["compactions"] += 1
+        self.stats["segments_merged"] += len(group)
+        if self.obs.enabled:
+            self.obs.metrics.counter("storage.compactions", node=self.node_id).inc()
+            self.obs.metrics.gauge("storage.segments", node=self.node_id).set(
+                len(self.segments)
+            )
+
+    # -- read path -----------------------------------------------------------
+
+    def partition_view(self, table: str, partition_key: str) -> Dict[Any, Any]:
+        """Merged rows of one partition (tombstones included).
+
+        With no segments this returns the live memtable partition by
+        reference (hot path — callers must copy, as StorageReplica
+        does); with segments it merges into fresh rows.
+        """
+        mem = self.memtable.get(table, {}).get(partition_key)
+        if not self.segments:
+            return mem if mem is not None else {}
+        row_cls = _row_cls()
+        merged: Dict[Any, Any] = {}
+        for segment in self.segments:
+            rows = segment.tables.get(table, {}).get(partition_key)
+            if rows:
+                for clustering, row in rows.items():
+                    merged.setdefault(clustering, row_cls()).merge_from(row)
+        if mem:
+            for clustering, row in mem.items():
+                merged.setdefault(clustering, row_cls()).merge_from(row)
+        return merged
+
+    def partition_keys(self) -> List[Tuple[str, str]]:
+        """All (table, partition) pairs, memtable insertion order first
+        (so the anti-entropy cursor walks the same sequence it did when
+        the memtable was the only storage), then segment-only ones."""
+        seen = set()
+        out: List[Tuple[str, str]] = []
+        for table, partitions in self.memtable.items():
+            for partition_key in partitions:
+                seen.add((table, partition_key))
+                out.append((table, partition_key))
+        for segment in self.segments:
+            for table, partitions in segment.tables.items():
+                for partition_key in partitions:
+                    if (table, partition_key) not in seen:
+                        seen.add((table, partition_key))
+                        out.append((table, partition_key))
+        return out
+
+    def table_partition_keys(self, table: str) -> List[str]:
+        return [pk for t, pk in self.partition_keys() if t == table]
+
+    # -- crash / recovery ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose the volatile column: memtable, acceptor state, unsynced
+        WAL tail, and any in-flight background sync/compaction work."""
+        self._epoch += 1
+        self._sync_looping = False
+        self._compacting = False
+        self._pending_lsns.clear()
+        lost = self.wal.drop_unsynced()
+        self.memtable = {}
+        self.memtable_bytes = 0
+        self.paxos = {}
+        self.crashed = True
+        self.stats["crashes"] += 1
+        self.stats["lost_records"] += len(lost)
+        self.stats["lost_bytes"] += sum(record.size_bytes for record in lost)
+
+    def recover(self) -> Generator[Any, Any, None]:
+        """Replay the durable commit log in LSN order.
+
+        Charges ``replayed_bytes / replay_bytes_per_ms`` on the sim
+        clock before any record is applied (the node stays unreachable
+        throughout — Node.recover rejoins the network only after this
+        generator finishes), and reports the replay through metrics and
+        a ``storage.recover`` span.
+        """
+        records = list(self.wal.records)
+        replay_bytes = sum(record.size_bytes for record in records)
+        rate = self.config.replay_bytes_per_ms
+        replay_ms = replay_bytes / rate if rate > 0 else 0.0
+        with self.obs.tracer.span("storage.recover", node=self.node_id) as span:
+            if replay_ms > 0:
+                yield self.sim.timeout(replay_ms)
+            self.crashed = False
+            for record in records:
+                self._replay(record)
+            span.set(
+                replayed_records=len(records),
+                replayed_bytes=replay_bytes,
+                replay_ms=replay_ms,
+            )
+        self.stats["replays"] += 1
+        self.stats["last_replay_ms"] = replay_ms
+        self.stats["last_replay_bytes"] = replay_bytes
+        self.stats["last_replay_records"] = len(records)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("storage.recover.replays", node=self.node_id).inc()
+            metrics.counter(
+                "storage.recover.replayed_bytes", node=self.node_id
+            ).inc(replay_bytes)
+            metrics.histogram(
+                "storage.recover.replay_ms", node=self.node_id
+            ).observe(replay_ms)
+
+    def _replay(self, record: Any) -> None:
+        if record.kind in ("update", "delete"):
+            self._apply(record.payload)
+        elif record.kind == "rows":
+            table, partition_key, rows = record.payload
+            self._merge(table, partition_key, rows, record.size_bytes)
+        elif record.kind == "paxos":
+            key, promised, accepted, latest_commit = record.payload
+            state = PaxosState(
+                promised=promised, accepted=accepted, latest_commit=latest_commit
+            )
+            if latest_commit is not None:
+                # The full committed-ballot set is a dedup cache, not
+                # state; re-delivered commits re-apply idempotently (LWW).
+                state.committed_ballots = {latest_commit}
+            self.paxos[key] = state
+        else:  # pragma: no cover - appends validate kinds
+            raise ValueError(f"unknown WAL record kind {record.kind!r}")
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A canonical, comparison-friendly image of the merged store.
+
+        Used by the determinism acceptance tests: two runs with the same
+        seed must produce equal snapshots after recovery.  The
+        ``committed_ballots`` dedup cache is deliberately excluded — it
+        is reconstructed conservatively on replay and is not data.
+        """
+        tables: Dict[str, Any] = {}
+        for table, partition_key in sorted(self.partition_keys()):
+            view = self.partition_view(table, partition_key)
+            rows = {}
+            for clustering in sorted(view, key=repr):
+                row = view[clustering]
+                rows[repr(clustering)] = {
+                    "cells": {
+                        column: (repr(cell.value), cell.stamp, cell.op_id)
+                        for column, cell in sorted(row.cells.items())
+                    },
+                    "tombstone": row.tombstone,
+                }
+            if rows:
+                tables.setdefault(table, {})[partition_key] = rows
+        paxos = {}
+        for key in sorted(self.paxos, key=repr):
+            state = self.paxos[key]
+            paxos[repr(key)] = (
+                state.promised,
+                repr(state.accepted),
+                state.latest_commit,
+            )
+        return {"tables": tables, "paxos": paxos}

@@ -1,0 +1,45 @@
+"""Immutable on-disk segments (the engine's SSTables).
+
+A :class:`Segment` is a memtable frozen at flush time: the engine takes
+ownership of the whole ``tables`` dict, and nothing mutates its rows
+afterwards — reads merge segment rows into fresh ``Row`` objects, and
+compaction builds a brand-new merged segment before atomically swapping
+it in.  Segments are durable by construction (a real flush fsyncs the
+SSTable before the commit log is truncated), which is why data can
+survive a crash even under ``wal_sync="off"`` once it has been flushed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Segment", "size_tier"]
+
+
+@dataclass
+class Segment:
+    """One immutable segment: ``tables[table][partition][clustering] -> Row``."""
+
+    segment_id: int
+    tables: Dict[str, Dict[str, Dict[Any, Any]]]
+    size_bytes: int
+    row_count: int
+    created_at: float
+    # The highest commit-log LSN folded into this segment; the flush
+    # checkpoints the log through this point.
+    max_lsn: int
+
+
+def size_tier(size_bytes: int, tier_factor: float) -> int:
+    """The size-tiered-compaction bucket of a segment.
+
+    Tier ``t`` holds segments of size in ``[factor^t, factor^(t+1))``;
+    computed with an integer loop so it is exact and deterministic.
+    """
+    tier = 0
+    size = float(max(size_bytes, 1))
+    while size >= tier_factor and tier < 64:
+        size /= tier_factor
+        tier += 1
+    return tier

@@ -17,7 +17,9 @@ these constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from ..storage import StorageEngineConfig
 
 __all__ = ["StoreConfig"]
 
@@ -28,6 +30,14 @@ class StoreConfig:
 
     # Replication factor; by default one replica of each key per site.
     replication_factor: int = 3
+
+    # Per-replica durable storage engine (commit log / memtable /
+    # segments).  Each replica takes a private copy, so fault schedules
+    # can flip one node's sync mode without affecting its peers.  The
+    # defaults (wal_sync="always", zero fsync latency) keep existing
+    # timings bit-identical: write_service_ms below already prices the
+    # commit-log append.
+    storage: StorageEngineConfig = field(default_factory=StorageEngineConfig)
 
     # CPU service times (milliseconds of one core).
     coordinator_service_ms: float = 0.10  # request parsing/routing per op

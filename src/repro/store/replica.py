@@ -1,9 +1,11 @@
-"""A storage replica: memtable, LWW merge, per-partition Paxos, anti-entropy.
+"""A storage replica: commit log, memtable, LWW merge, per-partition
+Paxos, anti-entropy.
 
 Each replica is a :class:`~repro.net.node.Node` that serves:
 
 - ``store_read``   — return (copies of) the live rows of a partition;
-- ``store_write``  — apply a batch of LWW cell updates / row deletes;
+- ``store_write``  — journal + apply a batch of LWW cell updates / row
+  deletes;
 - ``paxos_prepare``, ``paxos_propose``, ``paxos_commit`` — the per-
   partition single-decree Paxos that backs light-weight transactions,
   mirroring Cassandra's LWT implementation (Appendix X-A1: 4 round
@@ -13,19 +15,31 @@ Each replica is a :class:`~repro.net.node.Node` that serves:
   healed partitions (Section III-B's "a write ... eventually propagates
   to all other replicas").
 
-All state mutations happen without intervening yields, so each handler
-step is atomic with respect to other requests, matching the "biggest
-atomic event is confined to one node" granularity of the paper's formal
-model (Section V-A).
+All state lives in a per-replica :class:`~repro.storage.StorageEngine`
+(Cassandra's write path: commit log → memtable → segments), so every
+acknowledged mutation — including Paxos acceptor state and the lock
+store's guard/queue rows, which are ordinary LWT writes through these
+handlers — is journaled before the reply goes out and survives a crash
+according to the configured ``wal_sync`` mode.  ``crash()`` discards
+the volatile column; ``recover()`` replays the commit log (charging the
+replay time on the sim clock) before the node rejoins the network.
+
+State mutations still happen without intervening yields under the
+default zero-fsync-latency configuration, so each handler step is
+atomic with respect to other requests, matching the "biggest atomic
+event is confined to one node" granularity of the paper's formal model
+(Section V-A).  With a non-zero fsync latency, the journal append /
+memtable apply pair brackets the charged fsync — exactly the window a
+real commit log introduces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..sim import NodeClock, Simulator
 from ..net import Message, Network, Node
+from ..storage import PaxosState, StorageEngine
 from .config import StoreConfig
 from .types import Ballot, Mutation, Partition, Row, payload_size
 
@@ -33,19 +47,6 @@ __all__ = ["StorageReplica", "PaxosState"]
 
 # Sentinel meaning "read the whole partition" in a store_read request.
 ALL_ROWS = "__all_rows__"
-
-
-@dataclass
-class PaxosState:
-    """Single-decree Paxos acceptor state for one (table, partition)."""
-
-    promised: Optional[Ballot] = None
-    accepted: Optional[Tuple[Ballot, Mutation]] = None
-    committed_ballots: set = field(default_factory=set)
-    # The newest ballot this replica has committed; reported in prepare
-    # replies so coordinators can discard obsolete in-progress proposals
-    # (mirrors Cassandra's most-recent-commit tracking).
-    latest_commit: Optional[Ballot] = None
 
 
 class StorageReplica(Node):
@@ -64,15 +65,21 @@ class StorageReplica(Node):
     ) -> None:
         super().__init__(sim, network, node_id, site, cores=cores, clock=clock)
         self.config = config
-        # tables[table][partition_key][clustering] -> Row
-        self.tables: Dict[str, Dict[str, Partition]] = {}
-        self.paxos: Dict[Tuple[str, str], PaxosState] = {}
+        self.engine = StorageEngine(
+            sim, config.storage, node_id=node_id, obs=self.obs
+        )
         self.peers: List[str] = list(peers or [])
         # Placement ring, set by the cluster builder; used to restrict
         # anti-entropy to partitions both endpoints actually replicate.
         self.ring = None
         self._ae_cursor = 0
-        self.counters = {"reads": 0, "writes": 0, "paxos_prepares": 0, "paxos_commits": 0}
+        self.counters = {
+            "reads": 0,
+            "writes": 0,
+            "paxos_prepares": 0,
+            "paxos_proposes": 0,
+            "paxos_commits": 0,
+        }
         self.on("store_read", self._handle_read)
         self.on("store_write", self._handle_write)
         self.on("store_scan", self._handle_scan)
@@ -86,36 +93,57 @@ class StorageReplica(Node):
         if self.config.anti_entropy_enabled and self.peers:
             self.sim.process(self._anti_entropy_loop(), name=f"ae:{self.node_id}")
 
+    # -- crash / recovery ----------------------------------------------------
+
+    def _discard_volatile(self) -> None:
+        # Memtable, Paxos acceptor dict and the unsynced commit-log tail
+        # are gone; the synced log prefix and flushed segments survive.
+        self.engine.crash()
+
+    def _replay_durable(self) -> Optional[Generator[Any, Any, None]]:
+        if self.engine.crashed:
+            return self.engine.recover()
+        return None
+
     # -- local storage ------------------------------------------------------
 
-    def _partition(self, table: str, partition_key: str) -> Partition:
-        return self.tables.setdefault(table, {}).setdefault(partition_key, {})
+    @property
+    def tables(self) -> Dict[str, Dict[str, Partition]]:
+        """The engine's memtable (legacy view; excludes flushed segments)."""
+        return self.engine.memtable
+
+    @property
+    def paxos(self) -> Dict[Tuple[str, str], PaxosState]:
+        return self.engine.paxos
 
     def apply_update(self, update: Any) -> None:
-        """Apply one Update or DeleteRow to local state (LWW merge)."""
-        partition = self._partition(update.table, update.partition)
-        row = partition.setdefault(update.clustering, Row())
-        if hasattr(update, "columns"):
-            for column, value in update.columns.items():
-                row.apply_cell(column, value, update.stamp, update.op_id)
-        else:
-            row.delete(update.stamp)
+        """Apply one Update or DeleteRow to the memtable (LWW merge),
+        bypassing the journal — callers own durability (used by replay
+        paths such as hinted handoff, which re-sends ``store_write``)."""
+        self.engine._apply(update)
 
     def local_rows(self, table: str, partition_key: str) -> Dict[Any, Row]:
         """Copies of the live rows of a partition (empty dict if none)."""
-        partition = self.tables.get(table, {}).get(partition_key, {})
+        view = self.engine.partition_view(table, partition_key)
         return {
             clustering: row.copy()
-            for clustering, row in partition.items()
+            for clustering, row in view.items()
             if row.live
         }
 
     def local_row(self, table: str, partition_key: str, clustering: Any) -> Optional[Row]:
-        partition = self.tables.get(table, {}).get(partition_key, {})
-        row = partition.get(clustering)
+        view = self.engine.partition_view(table, partition_key)
+        row = view.get(clustering)
         if row is None or not row.live:
             return None
         return row.copy()
+
+    def _count(self, name: str) -> None:
+        self.counters[name] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                f"store.replica.{name}", node=self.node_id
+            ).inc()
 
     # -- read/write handlers -------------------------------------------------
 
@@ -123,7 +151,7 @@ class StorageReplica(Node):
         body = self.payload(msg)
         with self.obs.tracer.span("replica.read", node=self.node_id, site=self.site):
             yield from self.compute(self.config.read_service_ms)
-            self.counters["reads"] += 1
+            self._count("reads")
             clustering = body.get("clustering", ALL_ROWS)
             if clustering == ALL_ROWS:
                 rows = self.local_rows(body["table"], body["partition"])
@@ -142,27 +170,28 @@ class StorageReplica(Node):
             yield from self.compute(
                 self.config.write_service_ms + self.config.value_service_ms(size)
             )
-            self.counters["writes"] += 1
-            for update in updates:
-                self.apply_update(update)
+            self._count("writes")
+            yield from self.engine.commit(updates)
             self.reply(msg, {"ok": True})
 
     def _handle_scan(self, msg: Message) -> Generator[Any, Any, None]:
         """List the live partition keys of a table (an eventual read)."""
         body = self.payload(msg)
         yield from self.compute(self.config.read_service_ms)
-        partitions = self.tables.get(body["table"], {})
         keys = sorted(
             partition_key
-            for partition_key, rows in partitions.items()
-            if any(row.live for row in rows.values())
+            for partition_key in self.engine.table_partition_keys(body["table"])
+            if any(
+                row.live
+                for row in self.engine.partition_view(body["table"], partition_key).values()
+            )
         )
         self.reply(msg, {"keys": keys}, size_bytes=16 * len(keys) + 32)
 
     # -- Paxos acceptor handlers ----------------------------------------------
 
     def _paxos_state(self, table: str, partition_key: str) -> PaxosState:
-        return self.paxos.setdefault((table, partition_key), PaxosState())
+        return self.engine.paxos_state(table, partition_key)
 
     def _handle_paxos_prepare(self, msg: Message) -> Generator[Any, Any, None]:
         body = self.payload(msg)
@@ -170,8 +199,9 @@ class StorageReplica(Node):
             "replica.paxos_prepare", node=self.node_id, site=self.site
         ) as span:
             yield from self.compute(self.config.paxos_phase_service_ms)
-            self.counters["paxos_prepares"] += 1
-            state = self._paxos_state(body["table"], body["partition"])
+            self._count("paxos_prepares")
+            key = (body["table"], body["partition"])
+            state = self._paxos_state(*key)
             ballot: Ballot = body["ballot"]
             if state.promised is not None and ballot <= state.promised:
                 span.set(promised=False)
@@ -182,6 +212,9 @@ class StorageReplica(Node):
             if state.accepted is not None:
                 accepted_ballot, mutation = state.accepted
                 in_progress = (accepted_ballot, mutation)
+            # The promise must be durable before it is given: a promise
+            # forgotten across a restart would let an older ballot slip in.
+            yield from self.engine.journal_paxos(key, state)
             self.reply(msg, {
                 "promised": True,
                 "in_progress": in_progress,
@@ -198,7 +231,9 @@ class StorageReplica(Node):
             yield from self.compute(
                 self.config.paxos_phase_service_ms + self.config.value_service_ms(size)
             )
-            state = self._paxos_state(body["table"], body["partition"])
+            self._count("paxos_proposes")
+            key = (body["table"], body["partition"])
+            state = self._paxos_state(*key)
             ballot: Ballot = body["ballot"]
             if state.promised is not None and ballot < state.promised:
                 span.set(accepted=False)
@@ -206,6 +241,10 @@ class StorageReplica(Node):
                 return
             state.promised = ballot
             state.accepted = (ballot, mutation)
+            # Cassandra journals the accepted proposal in system.paxos
+            # before acknowledging; a volatile acceptance is the classic
+            # Paxos durability bug (see tests/integration).
+            yield from self.engine.journal_paxos(key, state)
             self.reply(msg, {"accepted": True})
 
     def _handle_paxos_commit(self, msg: Message) -> Generator[Any, Any, None]:
@@ -214,19 +253,24 @@ class StorageReplica(Node):
             "replica.paxos_commit", node=self.node_id, site=self.site
         ):
             yield from self.compute(self.config.paxos_phase_service_ms)
-            self.counters["paxos_commits"] += 1
-            state = self._paxos_state(body["table"], body["partition"])
+            self._count("paxos_commits")
+            key = (body["table"], body["partition"])
+            state = self._paxos_state(*key)
             ballot: Ballot = body["ballot"]
             mutation: Mutation = body["mutation"]
             # Apply the decided mutation (idempotent thanks to LWW stamps).
-            if ballot not in state.committed_ballots:
+            apply_needed = ballot not in state.committed_ballots
+            if apply_needed:
                 state.committed_ballots.add(ballot)
-                for update in mutation:
-                    self.apply_update(update)
             if state.latest_commit is None or ballot > state.latest_commit:
                 state.latest_commit = ballot
             if state.accepted is not None and state.accepted[0] <= ballot:
                 state.accepted = None
+            # One group commit covers the data mutation and the acceptor
+            # snapshot: a single fsync, like Cassandra's batched commitlog.
+            yield from self.engine.commit(
+                mutation if apply_needed else [], paxos=(key, state)
+            )
             self.reply(msg, {"ok": True})
 
     # -- anti-entropy -----------------------------------------------------------
@@ -264,7 +308,7 @@ class StorageReplica(Node):
             except Exception:
                 continue  # unreachable peer; try again next round
             for table, partition_key, rows in reply["entries"]:
-                self._merge_rows(table, partition_key, rows)
+                yield from self._merge_rows(table, partition_key, rows)
 
     def _owns(self, node_id: str, partition_key: str) -> bool:
         if self.ring is None:
@@ -277,8 +321,7 @@ class StorageReplica(Node):
         """A rotating window of partitions to exchange this round."""
         everything: List[Tuple[str, str]] = [
             (table, partition_key)
-            for table, partitions in self.tables.items()
-            for partition_key in partitions
+            for table, partition_key in self.engine.partition_keys()
             if peer is None or self._owns(peer, partition_key)
         ]
         if not everything:
@@ -290,7 +333,7 @@ class StorageReplica(Node):
         for table, partition_key in window:
             rows = {
                 clustering: row.copy()
-                for clustering, row in self.tables[table][partition_key].items()
+                for clustering, row in self.engine.partition_view(table, partition_key).items()
             }
             batch.append((table, partition_key, rows))
         return batch
@@ -304,9 +347,9 @@ class StorageReplica(Node):
                 continue
             ours = {
                 clustering: row.copy()
-                for clustering, row in self.tables.get(table, {}).get(partition_key, {}).items()
+                for clustering, row in self.engine.partition_view(table, partition_key).items()
             }
-            self._merge_rows(table, partition_key, rows)
+            yield from self._merge_rows(table, partition_key, rows)
             reply_entries.append((table, partition_key, ours))
         size = sum(
             payload_size(row.visible_values())
@@ -315,8 +358,7 @@ class StorageReplica(Node):
         )
         self.reply(msg, {"entries": reply_entries}, size_bytes=size + 64)
 
-    def _merge_rows(self, table: str, partition_key: str, rows: Dict[Any, Row]) -> None:
-        partition = self._partition(table, partition_key)
-        for clustering, row in rows.items():
-            existing = partition.setdefault(clustering, Row())
-            existing.merge_from(row)
+    def _merge_rows(
+        self, table: str, partition_key: str, rows: Dict[Any, Row]
+    ) -> Generator[Any, Any, None]:
+        yield from self.engine.merge_rows(table, partition_key, rows)

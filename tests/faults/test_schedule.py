@@ -67,6 +67,50 @@ def test_flaky_link_profile_builds_alternating_actions():
         flaky_link_profile(faults, "a", "b", 0, 1, 1, duty=1.5)
 
 
+def test_flaky_link_profile_alternates_and_clamps_to_end():
+    music = build_music()
+    faults = FaultSchedule(music.sim, music.network)
+    # period * duty would put the last heal past end: it must clamp.
+    flaky_link_profile(faults, "Ohio", "Oregon", start=0.0, end=4_500.0,
+                       period=2_000.0, duty=0.9)
+    timeline = sorted((when, label) for when, label, _a in faults.actions)
+    assert all(when <= 4_500.0 for when, _label in timeline)
+    kinds = [label.split()[0] for _when, label in timeline]
+    assert kinds == ["partition", "heal"] * 3
+    assert timeline[-1] == (4_500.0, "heal Ohio<->Oregon")
+
+
+def test_restart_at_really_loses_state_and_replays():
+    """``restart_at`` (unlike ``crash_at``) exercises the volatile-loss
+    contract: the engine crashes, then replays its commit log."""
+    music = build_music()
+    faults = music.fault_schedule().restart_at(
+        1_000.0, "store-0-0", down_ms=200.0
+    )
+    faults.arm()
+    music.sim.run(until=2_000.0)
+    engine = music.store.by_id["store-0-0"].engine
+    assert engine.stats["crashes"] == 1
+    assert engine.stats["replays"] == 1
+    assert not music.network.is_failed("store-0-0")
+    assert [label for _t, label in faults.log] == [
+        "restart store-0-0 (crash)", "restart store-0-0 (recover)",
+    ]
+
+
+def test_durability_knob_labels_reach_the_log():
+    music = build_music()
+    faults = (music.fault_schedule()
+              .set_wal_sync_at(100.0, "off")
+              .set_paxos_journal_at(200.0, False))
+    faults.arm()
+    music.sim.run(until=300.0)
+    assert [label for _t, label in faults.log] == [
+        "wal_sync=off all", "journal_paxos=False all",
+    ]
+    assert music.store.by_id["store-0-0"].engine.config.wal_sync == "off"
+
+
 def test_music_survives_a_flapping_link():
     """ECF holds while the Ohio-Oregon link flaps: increments under the
     lock never get lost despite repeated partitions and preemptions."""
