@@ -36,6 +36,9 @@ class MusicDeployment:
     streams: RandomStreams
     obs: object = NULL_OBS
     auditor: Optional[object] = None
+    # The elasticity control plane (repro.topo.TopologyManager); None
+    # unless built with ``elastic=True``.
+    topology: Optional[object] = None
     _client_seq: Dict[str, int] = field(default_factory=dict)
 
     def replica_at(self, site: str) -> MusicReplica:
@@ -54,7 +57,9 @@ class MusicDeployment:
         nodes = dict(self.store.by_id)
         for replica in self.replicas:
             nodes[replica.node_id] = replica
-        return FaultSchedule(self.sim, self.network, nodes=nodes)
+        return FaultSchedule(
+            self.sim, self.network, nodes=nodes, topology=self.topology
+        )
 
     def client(self, site: str, client_id: Optional[str] = None) -> MusicClient:
         if client_id is None:
@@ -84,6 +89,8 @@ def build_music(
     obs=None,
     audit: bool = False,
     wal_sync: Optional[str] = None,
+    elastic: bool = False,
+    topo_config=None,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
@@ -102,6 +109,13 @@ def build_music(
     ``wal_sync`` overrides the store replicas' commit-log sync mode
     (``"always"`` / ``"periodic"`` / ``"off"``) — the durability axis of
     the storage engine; see :class:`~repro.storage.StorageEngineConfig`.
+
+    ``elastic=True`` attaches a :class:`~repro.topo.TopologyManager`
+    (returned as ``deployment.topology``): gossip membership on every
+    store replica plus live ``bootstrap``/``decommission``/``repair_pair``
+    operations.  The default leaves the topology plane entirely
+    unbuilt — no extra nodes, processes, or randomness — so simulated
+    timings are bit-identical to earlier versions.
     """
     profile = PAPER_PROFILES[profile_name]
     sim = sim or Simulator()
@@ -146,6 +160,16 @@ def build_music(
     )
     store.start()
 
+    topology = None
+    if elastic:
+        from ..topo import TopoConfig, TopologyManager
+
+        topology = TopologyManager(
+            sim, network, store, profile.site_names[0], streams,
+            config=topo_config or TopoConfig(),
+        )
+        topology.start()
+
     skew_rng = streams.stream("music-clock-skew")
     replicas: List[MusicReplica] = []
     detectors: List[FailureDetector] = []
@@ -168,4 +192,5 @@ def build_music(
         sim=sim, network=network, profile=profile, store=store,
         replicas=replicas, detectors=detectors, config=music_config,
         streams=streams, obs=network.obs, auditor=auditor,
+        topology=topology,
     )

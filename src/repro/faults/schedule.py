@@ -22,7 +22,7 @@ actually fired, for assertions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Tuple
 
 from ..net import Network, Node
 from ..sim import Simulator
@@ -45,18 +45,29 @@ class FaultSchedule:
     sim: Simulator
     network: Network
     nodes: Optional[Mapping[str, Node]] = None
+    # The deployment's TopologyManager, when built with elastic=True;
+    # lets event-triggered faults (crash_mid_bootstrap) hook the
+    # topology plane's stream notifications.
+    topology: Optional[Any] = None
     actions: List[Tuple[float, str, Callable[[], None]]] = field(default_factory=list)
     log: List[Tuple[float, str]] = field(default_factory=list)
     _armed: bool = False
+    _topo_hooks: List[Callable] = field(default_factory=list)
 
     def _node(self, node_id: str) -> Node:
-        if self.nodes is None or node_id not in self.nodes:
-            raise KeyError(
-                f"FaultSchedule has no Node registry entry for {node_id!r}; "
-                "construct it with nodes={...} or via "
-                "MusicDeployment.fault_schedule()"
-            )
-        return self.nodes[node_id]
+        if self.nodes is not None and node_id in self.nodes:
+            return self.nodes[node_id]
+        # Nodes added after the schedule was built (live bootstrap)
+        # resolve through the topology plane's cluster registry.
+        if self.topology is not None:
+            replica = self.topology.cluster.by_id.get(node_id)
+            if replica is not None:
+                return replica
+        raise KeyError(
+            f"FaultSchedule has no Node registry entry for {node_id!r}; "
+            "construct it with nodes={...} or via "
+            "MusicDeployment.fault_schedule()"
+        )
 
     def _engines(self, node_id: Optional[str]) -> List:
         if self.nodes is None:
@@ -136,6 +147,53 @@ class FaultSchedule:
             lambda: self._node(node_id).recover(),
         )
 
+    # -- event-triggered faults ---------------------------------------------------
+
+    def crash_mid_bootstrap(
+        self,
+        node_id: str,
+        after_streams: int = 1,
+        down_ms: float = 0.0,
+    ) -> "FaultSchedule":
+        """Crash ``node_id`` (with real state loss) the moment the
+        topology plane starts its ``after_streams``-th partition stream,
+        recovering ``down_ms`` later via commit-log replay.
+
+        Event-triggered rather than timed: it fires exactly mid-
+        bootstrap regardless of how long the preceding moves took, which
+        is what the elastic-scaling safety argument needs to exercise —
+        a stream source (or gainer) dying between collect and flip.
+        Requires a schedule built from an ``elastic=True`` deployment.
+        """
+        if self.topology is None:
+            raise KeyError(
+                "crash_mid_bootstrap needs the topology plane; build the "
+                "schedule via MusicDeployment.fault_schedule() on an "
+                "elastic=True deployment"
+            )
+        state = {"streams": 0, "fired": False}
+
+        def on_stream(key: str, old: List[str], new: List[str]) -> None:
+            state["streams"] += 1
+            if state["fired"] or state["streams"] < after_streams:
+                return
+            state["fired"] = True
+            label = f"crash mid-bootstrap {node_id} (stream {key})"
+            self._node(node_id).crash()
+            self.log.append((self.sim.now, label))
+            audit = self.network.obs.audit
+            if audit.enabled:
+                audit.emit("fault", label=label)
+
+            def recover() -> None:
+                self._node(node_id).recover()
+                self.log.append((self.sim.now, f"recover {node_id}"))
+
+            self.sim.call_at(self.sim.now + down_ms, recover)
+
+        self._topo_hooks.append(on_stream)
+        return self
+
     # -- durability knobs ---------------------------------------------------------
 
     def set_wal_sync_at(
@@ -186,6 +244,8 @@ class FaultSchedule:
         self._armed = True
         for when, label, action in self.actions:
             self.sim.call_at(when, self._firer(when, label, action))
+        for hook in self._topo_hooks:
+            self.topology.on_stream(hook)
         return self
 
     def _firer(self, when: float, label: str, action: Callable[[], None]):

@@ -211,6 +211,43 @@ class StorageEngine:
         self._merge(table, partition_key, rows, size)
         self._maybe_flush()
 
+    def drop_partition(
+        self, partition_key: str, tables: Optional[List[str]] = None
+    ) -> Generator[Any, Any, None]:
+        """Journal and apply the removal of a partition's local copy.
+
+        Used by topology cleanup after a range moves to another node
+        (Cassandra's ``nodetool cleanup``): the rows, including
+        tombstones, and the partition's Paxos acceptor state are removed
+        from the memtable, every segment, and the acceptor dict.  The
+        drop is a WAL record, so a crash replay reconstructs the same
+        post-cleanup state (records before the drop are re-dropped).
+        """
+        if self.crashed:
+            return
+        record = self.wal.append("drop", (partition_key, tables), 24)
+        self._pending_lsns.add(record.lsn)
+        try:
+            yield from self._sync_point()
+        finally:
+            self._pending_lsns.discard(record.lsn)
+        if self.crashed:
+            return
+        self._drop(partition_key, tables)
+
+    def _drop(self, partition_key: str, tables: Optional[List[str]]) -> None:
+        for table, partitions in self.memtable.items():
+            if tables is None or table in tables:
+                partitions.pop(partition_key, None)
+        for segment in self.segments:
+            for table, partitions in segment.tables.items():
+                if tables is None or table in tables:
+                    partitions.pop(partition_key, None)
+        for key in list(self.paxos):
+            table, pk = key
+            if pk == partition_key and (tables is None or table in tables):
+                del self.paxos[key]
+
     def paxos_state(self, table: str, partition_key: str) -> PaxosState:
         return self.paxos.setdefault((table, partition_key), PaxosState())
 
@@ -505,6 +542,9 @@ class StorageEngine:
         elif record.kind == "rows":
             table, partition_key, rows = record.payload
             self._merge(table, partition_key, rows, record.size_bytes)
+        elif record.kind == "drop":
+            partition_key, tables = record.payload
+            self._drop(partition_key, tables)
         elif record.kind == "paxos":
             key, promised, accepted, latest_commit = record.payload
             state = PaxosState(

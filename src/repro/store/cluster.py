@@ -31,6 +31,7 @@ class StoreCluster:
         replicas: List[StorageReplica],
         ring: HashRing,
         streams: RandomStreams,
+        cores: int = 8,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -38,11 +39,43 @@ class StoreCluster:
         self.replicas = replicas
         self.ring = ring
         self.streams = streams
+        self.cores = cores
         self.by_id: Dict[str, StorageReplica] = {r.node_id: r for r in replicas}
 
     def start(self) -> None:
         for replica in self.replicas:
             replica.start()
+
+    def add_replica(self, node_id: str, site: str) -> StorageReplica:
+        """Construct, register and start one new (empty) storage replica.
+
+        Node-level only: the caller (the topology manager's bootstrap)
+        owns the ring change and the data movement.
+        """
+        if node_id in self.by_id:
+            raise ValueError(f"replica {node_id!r} already in the cluster")
+        replica = StorageReplica(
+            self.sim, self.network, node_id, site, self.config,
+            cores=self.cores, clock=NodeClock(self.sim),
+            peers=[r.node_id for r in self.replicas] + [node_id],
+        )
+        replica.ring = self.ring
+        for other in self.replicas:
+            if node_id not in other.peers:
+                other.peers.append(node_id)
+        self.replicas.append(replica)
+        self.by_id[node_id] = replica
+        replica.start()
+        return replica
+
+    def remove_replica(self, node_id: str) -> StorageReplica:
+        """Drop a replica from the membership views (decommission)."""
+        replica = self.by_id.pop(node_id)
+        self.replicas = [r for r in self.replicas if r.node_id != node_id]
+        for other in self.replicas:
+            if node_id in other.peers:
+                other.peers.remove(node_id)
+        return replica
 
     def coordinator_for(self, node: Node) -> StoreCoordinator:
         """A coordinator bound to ``node`` (a MUSIC replica or client host)."""
@@ -105,4 +138,4 @@ def build_cluster(
 
     for replica in replicas:
         replica.ring = ring
-    return StoreCluster(sim, network, config, replicas, ring, streams)
+    return StoreCluster(sim, network, config, replicas, ring, streams, cores=cores)

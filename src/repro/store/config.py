@@ -67,10 +67,16 @@ class StoreConfig:
     read_repair_enabled: bool = False
 
     # Hinted handoff: a coordinator that cannot reach a replica keeps the
-    # write as a hint and replays it periodically until delivered.
+    # write as a hint and replays it periodically until delivered.  The
+    # queue is bounded two ways, as in Cassandra: a size cap (hints are
+    # shed, not queued, once it is full) and a TTL (max_hint_window_in_ms)
+    # after which a stored hint is discarded instead of replayed — a
+    # replica that was down longer than the TTL must be healed by
+    # anti-entropy repair, not by hints.
     hinted_handoff_enabled: bool = True
     hint_replay_interval_ms: float = 5_000.0
     max_hints_per_coordinator: int = 10_000
+    hint_ttl_ms: float = 3_600_000.0
 
     # Virtual nodes per physical node on the hash ring.
     ring_vnodes: int = 16

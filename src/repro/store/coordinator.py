@@ -236,9 +236,19 @@ class StoreCoordinator:
             yield from self.node.compute(self.config.coordinator_service_ms)
             replicas = self.replicas(partition)
             needed = self._needed(consistency, len(replicas))
+            # During a ring transition, nodes gaining this partition are
+            # dual-written and their acks are *required* (Cassandra's
+            # blockFor + pending endpoints): every write acknowledged
+            # before the handover flip is then guaranteed to sit on the
+            # post-flip owner, so read quorums intersect across the move.
+            pending = list(
+                self.ring.pending_owners(partition, self.config.replication_factor)
+            )
+            targets = replicas + pending if pending else replicas
+            needed += len(pending)
             size = sum(update.size_bytes() for update in updates)
             handles = self.node.call_many(
-                replicas,
+                targets,
                 "store_write",
                 {"updates": updates},
                 size_bytes=size,
@@ -255,12 +265,26 @@ class StoreCoordinator:
         def on_outcome(event) -> None:
             if event.ok:
                 return
-            if len(self._hints) >= self.config.max_hints_per_coordinator:
-                return  # shed hints under sustained failure (Cassandra does too)
-            self._hints.append((replica, updates))
-            self._ensure_hint_replayer()
+            self._store_hint(replica, updates, self.sim.now)
 
         return on_outcome
+
+    def _store_hint(
+        self, replica: str, updates: List[Any], hinted_at: float,
+        requeue: bool = False,
+    ) -> None:
+        if len(self._hints) >= self.config.max_hints_per_coordinator:
+            # Shed hints under sustained failure (Cassandra does too).
+            self.obs.metrics.counter(
+                "store.hints_dropped", node=self.node.node_id, reason="overflow"
+            ).inc()
+            return
+        self._hints.append((replica, updates, hinted_at))
+        if not requeue:
+            self.obs.metrics.counter(
+                "store.hints_queued", node=self.node.node_id
+            ).inc()
+        self._ensure_hint_replayer()
 
     def _ensure_hint_replayer(self) -> None:
         if self._hint_replayer is not None and not self._hint_replayer.triggered:
@@ -270,20 +294,30 @@ class StoreCoordinator:
         )
 
     def _replay_hints(self) -> Generator[Any, Any, None]:
-        """Periodically retry undelivered writes until they land."""
+        """Periodically retry undelivered writes until they land or expire."""
         while self._hints:
             yield self.sim.timeout(self.config.hint_replay_interval_ms)
             pending, self._hints = self._hints, []
-            for replica, updates in pending:
+            for replica, updates, hinted_at in pending:
+                if self.sim.now - hinted_at > self.config.hint_ttl_ms:
+                    # Older than the hint window: the target must catch
+                    # up via anti-entropy repair instead.
+                    self.obs.metrics.counter(
+                        "store.hints_dropped", node=self.node.node_id,
+                        reason="expired",
+                    ).inc()
+                    continue
                 try:
                     yield from self.node.call(
                         replica, "store_write", {"updates": updates},
                         size_bytes=sum(u.size_bytes() for u in updates),
                         timeout=self.config.rpc_timeout_ms,
                     )
+                    self.obs.metrics.counter(
+                        "store.hints_replayed", node=self.node.node_id
+                    ).inc()
                 except ReproError:
-                    if len(self._hints) < self.config.max_hints_per_coordinator:
-                        self._hints.append((replica, updates))
+                    self._store_hint(replica, updates, hinted_at, requeue=True)
 
     @property
     def pending_hints(self) -> int:
@@ -473,9 +507,30 @@ class StoreCoordinator:
         mutation: Mutation,
     ) -> Generator[Any, Any, None]:
         body = dict(target, mutation=mutation)
+        partition = target["partition"]
+        factor = self.config.replication_factor
+        # Dual-write the decided mutation to pending owners (their acks
+        # are required, like plain writes during a transition).  If the
+        # partition flipped to its new owners *while this LWT was in
+        # flight*, also forward to any current owner missing from the
+        # prepare-time replica set — idempotent thanks to LWW stamps, and
+        # it closes the window between the handover snapshot and this
+        # commit landing.
+        pending = [
+            node_id
+            for node_id in self.ring.pending_owners(partition, factor)
+            if node_id not in replicas
+        ]
+        flipped = [
+            node_id
+            for node_id in self.ring.replicas_for(partition, factor)
+            if node_id not in replicas and node_id not in pending
+        ]
+        needed += len(pending)
+        targets = replicas + pending + flipped
         with self.obs.tracer.span("paxos.commit", node=self.node.node_id):
             handles = self.node.call_many(
-                replicas, "paxos_commit", body, timeout=self.config.rpc_timeout_ms
+                targets, "paxos_commit", body, timeout=self.config.rpc_timeout_ms
             )
             yield from await_quorum(self.sim, handles, needed)
 

@@ -7,19 +7,55 @@ that: tokens are derived from node ids via virtual nodes, and replica
 selection walks the ring taking the first node encountered in each site
 until the replication factor is met — Cassandra's
 NetworkTopologyStrategy with one replica per datacenter.
+
+Topology *changes* go through a :class:`RingTransition` (Cassandra's
+pending ranges, simplified to whole partitions).  While a transition is
+open:
+
+- unmoved partitions keep resolving on the **pre-change** token
+  snapshot, so reads/writes stay on the replicas that actually hold the
+  data;
+- :meth:`pending_owners` names the nodes that will gain an unmoved
+  partition under the new layout — coordinators dual-write to them and
+  count their acks toward the write's required replies (Cassandra's
+  blockFor + pending endpoints), so no acknowledged write can be missing
+  from the post-flip owner set;
+- :meth:`mark_moved` flips one partition to the new layout atomically
+  (the elasticity controller calls it in the same event-loop step that
+  receives the handover ack).
+
+``end_transition`` drops the overlay once every affected partition has
+been streamed and flipped.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["HashRing"]
+__all__ = ["HashRing", "RingTransition"]
 
 
 def _hash64(data: str) -> int:
     return int.from_bytes(hashlib.md5(data.encode()).digest()[:8], "big")
+
+
+class RingTransition:
+    """A frozen pre-change placement plus the set of flipped partitions."""
+
+    __slots__ = ("tokens", "token_values", "sites", "moved")
+
+    def __init__(
+        self,
+        tokens: List[Tuple[int, str]],
+        token_values: List[int],
+        sites: Dict[str, str],
+    ) -> None:
+        self.tokens = tokens
+        self.token_values = token_values
+        self.sites = sites
+        self.moved: Set[str] = set()  # partition keys now on the new layout
 
 
 class HashRing:
@@ -30,15 +66,20 @@ class HashRing:
         self._sites: Dict[str, str] = {}  # node_id -> site
         self._tokens: List[Tuple[int, str]] = []  # sorted (token, node_id)
         self._token_values: List[int] = []
+        self._transition: Optional[RingTransition] = None
 
     def add_node(self, node_id: str, site: str) -> None:
         if node_id in self._sites:
             raise ValueError(f"node {node_id!r} already on the ring")
         self._sites[node_id] = site
         for vnode in range(self.vnodes):
-            self._tokens.append((_hash64(f"{node_id}#{vnode}"), node_id))
-        self._tokens.sort()
-        self._token_values = [token for token, _ in self._tokens]
+            entry = (_hash64(f"{node_id}#{vnode}"), node_id)
+            # O(log n) search + insert per token instead of re-sorting
+            # the whole list on every join; (token, node_id) tuples are
+            # unique, so this lands exactly where a full sort would.
+            position = bisect.bisect_left(self._tokens, entry)
+            self._tokens.insert(position, entry)
+            self._token_values.insert(position, entry[0])
 
     def remove_node(self, node_id: str) -> None:
         if node_id not in self._sites:
@@ -58,27 +99,126 @@ class HashRing:
     def site_of(self, node_id: str) -> str:
         return self._sites[node_id]
 
+    # -- transitions (pending ranges) -----------------------------------------
+
+    @property
+    def transition(self) -> Optional[RingTransition]:
+        return self._transition
+
+    @property
+    def in_transition(self) -> bool:
+        return self._transition is not None
+
+    def begin_transition(self) -> RingTransition:
+        """Snapshot the current placement before add/remove_node calls.
+
+        Until :meth:`end_transition`, partitions not yet
+        :meth:`mark_moved` keep resolving on this snapshot.
+        """
+        if self._transition is not None:
+            raise RuntimeError("a ring transition is already open")
+        self._transition = RingTransition(
+            list(self._tokens), list(self._token_values), dict(self._sites)
+        )
+        return self._transition
+
+    def mark_moved(self, partition_key: str) -> None:
+        """Flip one partition to the post-change layout."""
+        if self._transition is None:
+            raise RuntimeError("no ring transition is open")
+        self._transition.moved.add(partition_key)
+
+    def end_transition(self) -> None:
+        if self._transition is None:
+            raise RuntimeError("no ring transition is open")
+        self._transition = None
+
+    def pending_owners(
+        self, partition_key: str, replication_factor: int = 0
+    ) -> Sequence[str]:
+        """Nodes that will own ``partition_key`` after the transition but
+        do not own it yet (empty outside a transition / once moved)."""
+        transition = self._transition
+        if transition is None or partition_key in transition.moved:
+            return ()
+        old = self._walk(
+            transition.tokens, transition.token_values, transition.sites,
+            partition_key, replication_factor,
+        )
+        new = self._walk(
+            self._tokens, self._token_values, self._sites,
+            partition_key, replication_factor,
+        )
+        return [node_id for node_id in new if node_id not in old]
+
+    def pre_transition_owners(
+        self, partition_key: str, replication_factor: int = 0
+    ) -> List[str]:
+        """Placement on the frozen pre-change snapshot (requires an open
+        transition); the set that currently holds an unmoved partition."""
+        transition = self._transition
+        if transition is None:
+            raise RuntimeError("no ring transition is open")
+        return self._walk(
+            transition.tokens, transition.token_values, transition.sites,
+            partition_key, replication_factor,
+        )
+
+    def post_transition_owners(
+        self, partition_key: str, replication_factor: int = 0
+    ) -> List[str]:
+        """Placement on the live token table — the layout every
+        partition lands on once the transition ends."""
+        return self._walk(
+            self._tokens, self._token_values, self._sites,
+            partition_key, replication_factor,
+        )
+
+    # -- placement -------------------------------------------------------------
+
     def replicas_for(self, partition_key: str, replication_factor: int = 0) -> List[str]:
         """Replica node ids for a partition, first-walked order.
 
         With the default replication factor (number of sites), the list
         holds exactly one node per site.  Raises if the ring cannot
-        satisfy the requested factor with distinct sites.
+        satisfy the requested factor with distinct sites.  During a
+        transition, partitions that have not been handed over yet
+        resolve on the pre-change snapshot.
         """
-        if not self._tokens:
-            raise ValueError("ring is empty")
-        factor = replication_factor or len(self.sites)
-        if factor > len(self.sites):
-            raise ValueError(
-                f"replication factor {factor} exceeds site count {len(self.sites)}"
+        transition = self._transition
+        if transition is not None and partition_key not in transition.moved:
+            return self._walk(
+                transition.tokens, transition.token_values, transition.sites,
+                partition_key, replication_factor,
             )
-        start = bisect.bisect_right(self._token_values, _hash64(partition_key))
+        return self._walk(
+            self._tokens, self._token_values, self._sites,
+            partition_key, replication_factor,
+        )
+
+    @staticmethod
+    def _walk(
+        tokens: List[Tuple[int, str]],
+        token_values: List[int],
+        sites: Dict[str, str],
+        partition_key: str,
+        replication_factor: int,
+    ) -> List[str]:
+        if not tokens:
+            raise ValueError("ring is empty")
+        site_count = len(set(sites.values()))
+        factor = replication_factor or site_count
+        if factor > site_count:
+            raise ValueError(
+                f"replication factor {factor} exceeds site count {site_count}"
+            )
+        start = bisect.bisect_right(token_values, _hash64(partition_key))
         replicas: List[str] = []
         seen_sites: set = set()
-        count = len(self._tokens)
+        count = len(tokens)
         for step in range(count):
-            _token, node_id = self._tokens[(start + step) % count]
-            site = self._sites[node_id]
+            _token, node_id = tokens[(start + step) % count]
+            site = sites[node_id]
             if site in seen_sites or node_id in replicas:
                 continue
             replicas.append(node_id)

@@ -1,0 +1,44 @@
+"""Elastic membership: gossip, live bootstrap/decommission, repair.
+
+The control plane that grows and shrinks the store cluster under live
+traffic (the paper's Fig. 4b scaling axis, made dynamic):
+
+- :class:`Gossiper` — versioned endpoint-state gossip with phi-accrual
+  suspicion, per store replica;
+- :class:`TopologyManager` — pending-range transitions on the hash
+  ring, quorum range streaming out of the storage engines, atomic
+  per-partition handover (data *and* lock rows together), cleanup, and
+  Merkle anti-entropy repair;
+- :class:`MerkleTree` — the hash trees repair exchanges.
+
+Enable with ``build_music(..., elastic=True)``; the default deployment
+constructs none of this, keeping baseline timings untouched.
+"""
+
+from .config import TopoConfig
+from .gossip import (
+    STATUS_DOWN,
+    STATUS_JOINING,
+    STATUS_LEAVING,
+    STATUS_LEFT,
+    STATUS_NORMAL,
+    EndpointState,
+    Gossiper,
+)
+from .merkle import MerkleTree, leaf_index, partition_hash
+from .elastic import TopologyManager
+
+__all__ = [
+    "EndpointState",
+    "Gossiper",
+    "MerkleTree",
+    "STATUS_DOWN",
+    "STATUS_JOINING",
+    "STATUS_LEAVING",
+    "STATUS_LEFT",
+    "STATUS_NORMAL",
+    "TopoConfig",
+    "TopologyManager",
+    "leaf_index",
+    "partition_hash",
+]

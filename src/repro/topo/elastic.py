@@ -1,0 +1,621 @@
+"""The elasticity controller: live bootstrap, decommission, and repair.
+
+``TopologyManager`` is the control plane for the paper's Fig. 4b axis —
+growing the store from 3 to 9 nodes — made *live*: topology changes run
+under traffic without losing acknowledged writes or ECF safety.  The
+mechanism is Cassandra's, adapted to the simulator's whole-partition
+granularity:
+
+1. **Pending ranges.**  A change opens a :class:`~repro.store.ring.
+   RingTransition`; coordinators keep routing unmoved partitions to the
+   old owners while *dual-writing* to pending owners with required acks
+   (see ``StoreCoordinator._write``), so every write acknowledged during
+   the move is on the new owner before the flip.
+
+2. **Range streaming.**  For each affected partition the manager quorum-
+   collects the full contents — all tables' rows *including tombstones*,
+   plus per-table Paxos acceptor state — from the current owners out of
+   their storage engines, LWW-merges the replies, and hands the bundle to
+   every gaining node in one ``topo_handover`` message.  Bytes ride the
+   normal network model, so streaming cost shows up in the per-byte cost
+   accounting like any other traffic.
+
+3. **Atomic flip.**  The partition's ring entry flips to the new layout
+   in the same event-loop step that observes the final handover ack:
+   there is no instant at which a reader can see the new owners without
+   the data (and its lock rows) being there.  Handing the lock-store
+   rows together with the data rows is what preserves ECF across the
+   move — the ``handover_lock_rows=False`` mutation exists precisely to
+   show the auditor catching the alternative.
+
+4. **Cleanup.**  Former owners drop their local copy (a journaled
+   ``drop`` record, so the cleanup survives crash replay), mirroring
+   ``nodetool cleanup``.
+
+Repair is Merkle-tree anti-entropy (:mod:`repro.topo.merkle`): trees
+over the partitions a replica pair co-owns are exchanged, and only the
+token leaves that differ are synchronised — a symmetric row exchange
+with LWW merge on both sides, so tombstones win over stale live rows
+and v2s stamps are preserved byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..errors import QuorumUnavailable, ReproError
+from ..net import Message, Network, Node, await_quorum, quorum_size
+from ..sim import RandomStreams, Simulator
+from ..store import StoreCluster
+from ..store.replica import StorageReplica
+from ..store.types import payload_size
+from .config import TopoConfig
+from .gossip import (
+    STATUS_JOINING,
+    STATUS_LEAVING,
+    STATUS_LEFT,
+    STATUS_NORMAL,
+    Gossiper,
+)
+from .merkle import MerkleTree, leaf_index
+
+__all__ = ["TopologyManager"]
+
+# StreamListener(partition_key, old_owners, new_owners) — called when a
+# partition's move starts; FaultSchedule.crash_mid_bootstrap hooks this.
+StreamListener = Callable[[str, List[str], List[str]], None]
+
+
+class TopologyManager:
+    """Control plane for membership changes over one store cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        cluster: StoreCluster,
+        site: str,
+        streams: RandomStreams,
+        config: Optional[TopoConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.cluster = cluster
+        self.config = config or TopoConfig()
+        self.streams = streams
+        self.node = Node(sim, network, "topo-0", site)
+        self.obs = self.node.obs
+        self.gossipers: Dict[str, Gossiper] = {}
+        self._stream_listeners: List[StreamListener] = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.node.start()
+        for replica in list(self.cluster.replicas):
+            self.attach(replica, STATUS_NORMAL)
+
+    def attach(self, replica: StorageReplica, status: str) -> Gossiper:
+        """Install topology handlers + a gossip agent on one replica."""
+        members = {
+            other.node_id: other.site
+            for other in self.cluster.replicas
+            if other.node_id != replica.node_id
+        }
+        gossiper = Gossiper(
+            replica, self.config, self.streams, members, status=status
+        )
+        self.gossipers[replica.node_id] = gossiper
+        replica.on(
+            "topo_collect", lambda msg: self._handle_collect(replica, msg)
+        )
+        replica.on(
+            "topo_handover", lambda msg: self._handle_handover(replica, msg)
+        )
+        replica.on(
+            "topo_merkle_tree", lambda msg: self._handle_merkle_tree(replica, msg)
+        )
+        replica.on(
+            "topo_repair_sync", lambda msg: self._handle_repair_sync(replica, msg)
+        )
+        replica.on(
+            "topo_repair_exchange",
+            lambda msg: self._handle_repair_exchange(replica, msg),
+        )
+        replica.on(
+            "topo_cleanup", lambda msg: self._handle_cleanup(replica, msg)
+        )
+        gossiper.start()
+        return gossiper
+
+    def on_stream(self, listener: StreamListener) -> None:
+        """Subscribe to partition-move start events (fault injection)."""
+        self._stream_listeners.append(listener)
+
+    # -- public operations ------------------------------------------------------
+
+    def bootstrap(self, node_id: str, site: str):
+        """Grow the cluster by one node, live; returns the sim process."""
+        return self.sim.process(
+            self._bootstrap([(node_id, site)]), name=f"bootstrap:{node_id}"
+        )
+
+    def bootstrap_many(self, pairs: List[Tuple[str, str]]):
+        """Add several nodes under a single ring transition."""
+        return self.sim.process(
+            self._bootstrap(list(pairs)),
+            name="bootstrap:" + ",".join(node_id for node_id, _ in pairs),
+        )
+
+    def decommission(self, node_id: str):
+        """Drain and remove one node, live; returns the sim process."""
+        return self.sim.process(
+            self._decommission(node_id), name=f"decommission:{node_id}"
+        )
+
+    def repair_pair(self, node_a: str, node_b: str):
+        """Merkle anti-entropy between two replicas; returns the process."""
+        return self.sim.process(
+            self._repair_pair(node_a, node_b), name=f"repair:{node_a}:{node_b}"
+        )
+
+    # -- bootstrap / decommission ------------------------------------------------
+
+    def _bootstrap(self, pairs: List[Tuple[str, str]]) -> Generator[Any, Any, None]:
+        label = ",".join(node_id for node_id, _ in pairs)
+        with self.obs.tracer.span("topo.bootstrap", nodes=label):
+            self._audit("topo_change", op="bootstrap", nodes=label)
+            for node_id, site in pairs:
+                replica = self.cluster.add_replica(node_id, site)
+                self.attach(replica, STATUS_JOINING)
+            ring = self.cluster.ring
+            ring.begin_transition()
+            try:
+                for node_id, site in pairs:
+                    ring.add_node(node_id, site)
+                yield from self._migrate()
+            finally:
+                ring.end_transition()
+            for node_id, _site in pairs:
+                self.gossipers[node_id].set_status(STATUS_NORMAL)
+            self._audit("topo_change", op="bootstrap_done", nodes=label)
+
+    def _decommission(self, node_id: str) -> Generator[Any, Any, None]:
+        with self.obs.tracer.span("topo.decommission", nodes=node_id):
+            self._audit("topo_change", op="decommission", nodes=node_id)
+            gossiper = self.gossipers.get(node_id)
+            if gossiper is not None:
+                gossiper.set_status(STATUS_LEAVING)
+            ring = self.cluster.ring
+            ring.begin_transition()
+            try:
+                ring.remove_node(node_id)
+                yield from self._migrate()
+            finally:
+                ring.end_transition()
+            if gossiper is not None:
+                gossiper.set_status(STATUS_LEFT)
+                gossiper.stop()
+                del self.gossipers[node_id]
+            self.cluster.remove_replica(node_id)
+            self._audit("topo_change", op="decommission_done", nodes=node_id)
+
+    # -- migration ---------------------------------------------------------------
+
+    def _affected_keys(self, done: set) -> List[str]:
+        """Partitions whose owner set changes, from live members' engines.
+
+        Control-plane introspection of the engines stands in for the
+        token-range arithmetic a real node performs on its own data
+        files; re-enumerated until a fixpoint so partitions created
+        mid-transition (by ongoing traffic) are also moved.
+        """
+        ring = self.cluster.ring
+        factor = self.cluster.config.replication_factor
+        keys = set()
+        for replica in self.cluster.replicas:
+            for _table, partition_key in replica.engine.partition_keys():
+                keys.add(partition_key)
+        affected = []
+        for key in sorted(keys):
+            if key in done:
+                continue
+            old = ring.pre_transition_owners(key, factor)
+            new = ring.post_transition_owners(key, factor)
+            if old != new:
+                affected.append(key)
+            else:
+                ring.mark_moved(key)  # nothing to stream; flip is free
+        return affected
+
+    def _migrate(self) -> Generator[Any, Any, None]:
+        done: set = set()
+        while True:
+            affected = self._affected_keys(done)
+            if not affected:
+                return
+            for key in affected:
+                yield from self._move_partition(key)
+                done.add(key)
+
+    def _move_partition(self, key: str) -> Generator[Any, Any, None]:
+        ring = self.cluster.ring
+        factor = self.cluster.config.replication_factor
+        old = ring.pre_transition_owners(key, factor)
+        new = ring.post_transition_owners(key, factor)
+        gainers = [node_id for node_id in new if node_id not in old]
+        losers = [node_id for node_id in old if node_id not in new]
+        for listener in self._stream_listeners:
+            listener(key, list(old), list(new))
+        with self.obs.tracer.span(
+            "topo.stream", key=key, gainers=",".join(gainers)
+        ):
+            streamed = 0
+            for attempt in range(self.config.handover_max_retries + 1):
+                try:
+                    streamed = yield from self._stream_once(key, old, gainers)
+                    break
+                except ReproError:
+                    if self.obs.enabled:
+                        self.obs.metrics.counter(
+                            "topo.stream.retries", node=self.node.node_id
+                        ).inc()
+                    yield self.sim.timeout(self.config.handover_retry_ms)
+            else:
+                raise QuorumUnavailable(
+                    f"handover of partition {key!r} failed after "
+                    f"{self.config.handover_max_retries} retries"
+                )
+            # Flip in the same event-loop step as the final handover ack:
+            # no yield separates the ack from the routing change, so no
+            # request can observe new owners that lack the moved rows.
+            ring.mark_moved(key)
+            self._audit(
+                "topo_handover",
+                key=key,
+                gainers=",".join(gainers),
+                losers=",".join(losers),
+                bytes=streamed,
+            )
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "topo.streams", node=self.node.node_id
+                ).inc()
+                self.obs.metrics.counter(
+                    "topo.stream.bytes", node=self.node.node_id
+                ).inc(streamed)
+        if self.config.cleanup_after_move and losers:
+            yield from self._cleanup(key, losers)
+
+    def _stream_once(
+        self, key: str, old: List[str], gainers: List[str]
+    ) -> Generator[Any, Any, int]:
+        """One collect+handover attempt; returns streamed byte count."""
+        handles = self.node.call_many(
+            old,
+            "topo_collect",
+            {"partition": key},
+            timeout=self.config.rpc_timeout_ms,
+        )
+        replies = yield from await_quorum(
+            self.sim, handles, quorum_size(len(old))
+        )
+        entries, paxos = self._merge_collected([reply for _dst, reply in replies])
+        if not self.config.handover_lock_rows:
+            # The deliberate safety mutation: data rows move, the lock
+            # guard/queue/synchFlag rows do not.
+            for table in self.config.lock_tables:
+                entries.pop(table, None)
+                paxos.pop(table, None)
+        size = (
+            sum(
+                payload_size(row.visible_values())
+                for rows in entries.values()
+                for row in rows.values()
+            )
+            + 48 * len(paxos)
+            + 64
+        )
+        if not gainers:
+            return size
+        handover = self.node.call_many(
+            gainers,
+            "topo_handover",
+            {"partition": key, "entries": entries, "paxos": paxos},
+            size_bytes=size,
+            timeout=self.config.rpc_timeout_ms,
+        )
+        # Every gainer must hold the partition before the flip.
+        yield from await_quorum(self.sim, handover, len(gainers))
+        return size * len(gainers)
+
+    @staticmethod
+    def _merge_collected(
+        replies: List[Dict[str, Any]],
+    ) -> Tuple[Dict[str, Dict[Any, Any]], Dict[str, Tuple[Any, Any, Any]]]:
+        """LWW-merge collect replies into one bundle per table."""
+        entries: Dict[str, Dict[Any, Any]] = {}
+        paxos: Dict[str, Tuple[Any, Any, Any]] = {}
+        for reply in replies:
+            for table, rows in reply["entries"].items():
+                merged = entries.setdefault(table, {})
+                for clustering, row in rows.items():
+                    known = merged.get(clustering)
+                    if known is None:
+                        merged[clustering] = row.copy()
+                    else:
+                        known.merge_from(row)
+            for table, (promised, accepted, latest) in reply["paxos"].items():
+                current = paxos.get(table)
+                if current is None:
+                    paxos[table] = (promised, accepted, latest)
+                    continue
+                best_promised = max(
+                    (b for b in (current[0], promised) if b is not None),
+                    default=None,
+                )
+                best_accepted = max(
+                    (a for a in (current[1], accepted) if a is not None),
+                    key=lambda pair: pair[0],
+                    default=None,
+                )
+                best_latest = max(
+                    (b for b in (current[2], latest) if b is not None),
+                    default=None,
+                )
+                paxos[table] = (best_promised, best_accepted, best_latest)
+        return entries, paxos
+
+    def _cleanup(self, key: str, losers: List[str]) -> Generator[Any, Any, None]:
+        for loser in losers:
+            try:
+                yield from self.node.call(
+                    loser,
+                    "topo_cleanup",
+                    {"partition": key},
+                    timeout=self.config.rpc_timeout_ms,
+                )
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "topo.cleanups", node=self.node.node_id
+                    ).inc()
+            except ReproError:
+                # Best-effort, like nodetool cleanup: a dead ex-owner
+                # keeps a stale copy, but ``_owns`` checks stop it from
+                # re-propagating via anti-entropy.
+                continue
+
+    # -- repair ------------------------------------------------------------------
+
+    def _repair_pair(self, node_a: str, node_b: str) -> Generator[Any, Any, int]:
+        depth = self.config.repair_depth
+        with self.obs.tracer.span(
+            "topo.repair", nodes=f"{node_a},{node_b}"
+        ) as span:
+            tree_a = yield from self.node.call(
+                node_a,
+                "topo_merkle_tree",
+                {"depth": depth, "peer": node_b},
+                timeout=self.config.rpc_timeout_ms,
+            )
+            tree_b = yield from self.node.call(
+                node_b,
+                "topo_merkle_tree",
+                {"depth": depth, "peer": node_a},
+                timeout=self.config.rpc_timeout_ms,
+            )
+            differing = MerkleTree.from_payload(tree_a["tree"]).diff(
+                MerkleTree.from_payload(tree_b["tree"])
+            )
+            span.set(leaves=len(differing))
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "topo.repair.rounds", node=self.node.node_id
+                ).inc()
+                self.obs.metrics.counter(
+                    "topo.repair.leaves", node=self.node.node_id
+                ).inc(len(differing))
+            if differing:
+                yield from self.node.call(
+                    node_a,
+                    "topo_repair_sync",
+                    {"peer": node_b, "leaves": differing, "depth": depth},
+                    size_bytes=8 * len(differing) + 32,
+                    timeout=self.config.rpc_timeout_ms,
+                )
+            self._audit(
+                "topo_repair", nodes=f"{node_a},{node_b}", leaves=len(differing)
+            )
+            return len(differing)
+
+    # -- replica-side handlers ------------------------------------------------------
+
+    def _handle_collect(
+        self, replica: StorageReplica, msg: Message
+    ) -> Generator[Any, Any, None]:
+        body = replica.payload(msg)
+        key = body["partition"]
+        yield from replica.compute(replica.config.read_service_ms)
+        entries: Dict[str, Dict[Any, Any]] = {}
+        for table, partition_key in replica.engine.partition_keys():
+            if partition_key != key or table in entries:
+                continue
+            view = replica.engine.partition_view(table, key)
+            # Full views, tombstones included: a handover that dropped
+            # deletion markers would resurrect rows on the new owner.
+            entries[table] = {
+                clustering: row.copy() for clustering, row in view.items()
+            }
+        paxos: Dict[str, Tuple[Any, Any, Any]] = {}
+        for (table, partition_key), state in replica.engine.paxos.items():
+            if partition_key == key:
+                paxos[table] = (state.promised, state.accepted, state.latest_commit)
+        size = (
+            sum(
+                payload_size(row.visible_values())
+                for rows in entries.values()
+                for row in rows.values()
+            )
+            + 48 * len(paxos)
+            + 64
+        )
+        replica.reply(msg, {"entries": entries, "paxos": paxos}, size_bytes=size)
+
+    def _handle_handover(
+        self, replica: StorageReplica, msg: Message
+    ) -> Generator[Any, Any, None]:
+        body = replica.payload(msg)
+        key = body["partition"]
+        size = sum(
+            payload_size(row.visible_values())
+            for rows in body["entries"].values()
+            for row in rows.values()
+        )
+        yield from replica.compute(
+            replica.config.write_service_ms
+            + replica.config.value_service_ms(size)
+        )
+        for table, rows in body["entries"].items():
+            # Receiver-side copies: the same bundle goes to every gainer,
+            # and engines must never share live Row objects.
+            yield from replica.engine.merge_rows(
+                table, key, {c: row.copy() for c, row in rows.items()}
+            )
+        for table, (promised, accepted, latest) in body["paxos"].items():
+            state = replica.engine.paxos_state(table, key)
+            if promised is not None and (
+                state.promised is None or promised > state.promised
+            ):
+                state.promised = promised
+            if accepted is not None and (
+                state.accepted is None or accepted[0] > state.accepted[0]
+            ):
+                state.accepted = accepted
+            if latest is not None and (
+                state.latest_commit is None or latest > state.latest_commit
+            ):
+                state.latest_commit = latest
+            yield from replica.engine.journal_paxos((table, key), state)
+        replica.reply(msg, {"ok": True})
+
+    def _merkle_filter(
+        self, replica: StorageReplica, peer: str
+    ) -> Callable[[str], bool]:
+        ring = self.cluster.ring
+        factor = self.cluster.config.replication_factor
+
+        def owns(partition_key: str) -> bool:
+            owners = ring.replicas_for(partition_key, factor)
+            return replica.node_id in owners and peer in owners
+
+        return owns
+
+    def _handle_merkle_tree(
+        self, replica: StorageReplica, msg: Message
+    ) -> Generator[Any, Any, None]:
+        body = replica.payload(msg)
+        yield from replica.compute(replica.config.read_service_ms)
+        tree = MerkleTree.build(
+            replica.engine,
+            body["depth"],
+            owns=self._merkle_filter(replica, body["peer"]),
+        )
+        replica.reply(msg, {"tree": tree.payload()}, size_bytes=tree.size_bytes())
+
+    def _rows_in_leaves(
+        self, replica: StorageReplica, peer: str, leaves: set, depth: int
+    ) -> List[Tuple[str, str, Dict[Any, Any]]]:
+        owns = self._merkle_filter(replica, peer)
+        batch: List[Tuple[str, str, Dict[Any, Any]]] = []
+        for table, partition_key in replica.engine.partition_keys():
+            if leaf_index(partition_key, depth) not in leaves:
+                continue
+            if not owns(partition_key):
+                continue
+            view = replica.engine.partition_view(table, partition_key)
+            batch.append(
+                (
+                    table,
+                    partition_key,
+                    {clustering: row.copy() for clustering, row in view.items()},
+                )
+            )
+        return batch
+
+    @staticmethod
+    def _batch_size(batch: List[Tuple[str, str, Dict[Any, Any]]]) -> int:
+        return (
+            sum(
+                payload_size(row.visible_values())
+                for _table, _key, rows in batch
+                for row in rows.values()
+            )
+            + 64
+        )
+
+    def _handle_repair_sync(
+        self, replica: StorageReplica, msg: Message
+    ) -> Generator[Any, Any, None]:
+        """Initiator side: push our rows in the differing leaves, merge
+        back whatever the peer holds there (symmetric convergence)."""
+        body = replica.payload(msg)
+        peer = body["peer"]
+        leaves = set(body["leaves"])
+        depth = body["depth"]
+        yield from replica.compute(replica.config.read_service_ms)
+        batch = self._rows_in_leaves(replica, peer, leaves, depth)
+        reply = yield from replica.call(
+            peer,
+            "topo_repair_exchange",
+            {"entries": batch, "leaves": body["leaves"], "depth": depth},
+            size_bytes=self._batch_size(batch),
+            timeout=self.config.rpc_timeout_ms,
+        )
+        merged = 0
+        for table, partition_key, rows in reply["entries"]:
+            yield from replica.engine.merge_rows(
+                table,
+                partition_key,
+                {c: row.copy() for c, row in rows.items()},
+            )
+            merged += len(rows)
+        replica.reply(msg, {"ok": True, "rows_merged": merged})
+
+    def _handle_repair_exchange(
+        self, replica: StorageReplica, msg: Message
+    ) -> Generator[Any, Any, None]:
+        """Peer side: merge the initiator's rows, answer with *all* of
+        ours in the same leaves — not just the keys it sent, or a row
+        present only here would never reach the initiator."""
+        body = replica.payload(msg)
+        leaves = set(body["leaves"])
+        depth = body["depth"]
+        yield from replica.compute(replica.config.read_service_ms)
+        sender = msg.src
+        ours = self._rows_in_leaves(replica, sender, leaves, depth)
+        for table, partition_key, rows in body["entries"]:
+            yield from replica.engine.merge_rows(
+                table,
+                partition_key,
+                {c: row.copy() for c, row in rows.items()},
+            )
+        replica.reply(msg, {"entries": ours}, size_bytes=self._batch_size(ours))
+
+    def _handle_cleanup(
+        self, replica: StorageReplica, msg: Message
+    ) -> Generator[Any, Any, None]:
+        body = replica.payload(msg)
+        yield from replica.compute(replica.config.write_service_ms)
+        yield from replica.engine.drop_partition(body["partition"])
+        replica.reply(msg, {"ok": True})
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _audit(self, kind: str, **fields: Any) -> None:
+        audit = self.obs.audit
+        if audit.enabled:
+            audit.emit(kind, node=self.node.node_id, **fields)

@@ -100,3 +100,96 @@ def test_hint_buffer_is_bounded():
         return coord.pending_hints
 
     assert run(sim, scenario()) <= 3
+
+
+def _counter(obs, name, **labels):
+    for entry in obs.metrics.snapshot()["counters"]:
+        if entry["name"] == name and entry["labels"] == labels:
+            return entry["value"]
+    return 0
+
+
+def make_observed_store(config):
+    """A store whose network carries a live Observability recorder."""
+    from repro.net import PAPER_PROFILES, Network, Node
+    from repro.obs import Observability
+    from repro.sim import RandomStreams, Simulator
+    from repro.store import build_cluster
+
+    profile = PAPER_PROFILES["lUs"]
+    sim = Simulator()
+    streams = RandomStreams(11)
+    obs = Observability(sim)
+    network = Network(sim, profile, streams=streams, obs=obs)
+    config.anti_entropy_enabled = False
+    cluster = build_cluster(
+        sim, network, profile, nodes_per_site=1, config=config, streams=streams
+    )
+    cluster.start()
+    host = Node(sim, network, "host-0", "Ohio")
+    host.start()
+    return sim, network, cluster, host, obs
+
+
+def test_expired_hint_is_dropped_not_replayed():
+    """A hint older than the TTL window is shed: the replica must be
+    healed by anti-entropy, exactly like Cassandra's max_hint_window."""
+    config = config_with_hints(hint_ttl_ms=3_000.0)
+    sim, net, cluster, host, obs = make_observed_store(config)
+    coord = cluster.coordinator_for(host)
+    oregon = cluster.replicas_in_site("Oregon")[0]
+
+    def scenario():
+        net.isolate_site("Oregon")
+        yield from coord.put("t", "k", None, {"v": "late"}, (1.0, "w"))
+        # Stay partitioned past the TTL; every replay attempt fails, and
+        # once the window lapses the hint is discarded instead of tried.
+        yield sim.timeout(20_000.0)
+        net.heal_all()
+        yield sim.timeout(10_000.0)
+        return oregon.local_row("t", "k", None), coord.pending_hints
+
+    row, hints = run(sim, scenario())
+    assert row is None  # never delivered
+    assert hints == 0  # ...and not queued either: it expired
+    assert _counter(obs, "store.hints_queued", node="host-0") == 1
+    assert _counter(obs, "store.hints_dropped", node="host-0", reason="expired") == 1
+    assert _counter(obs, "store.hints_replayed", node="host-0") == 0
+
+
+def test_hint_counters_track_queue_and_replay():
+    config = config_with_hints()
+    sim, net, cluster, host, obs = make_observed_store(config)
+    coord = cluster.coordinator_for(host)
+
+    def scenario():
+        net.isolate_site("Oregon")
+        yield from coord.put("t", "k", None, {"v": "x"}, (1.0, "w"))
+        yield sim.timeout(1_000.0)
+        net.heal_all()
+        yield sim.timeout(6_000.0)
+
+    run(sim, scenario())
+    assert _counter(obs, "store.hints_queued", node="host-0") == 1
+    assert _counter(obs, "store.hints_replayed", node="host-0") == 1
+    assert _counter(obs, "store.hints_dropped", node="host-0", reason="expired") == 0
+
+
+def test_overflow_increments_dropped_counter():
+    config = config_with_hints()
+    config.max_hints_per_coordinator = 2
+    sim, net, cluster, host, obs = make_observed_store(config)
+    coord = cluster.coordinator_for(host)
+
+    def scenario():
+        net.isolate_site("Oregon")
+        for index in range(6):
+            yield from coord.put("t", f"k{index}", None, {"v": index},
+                                 (float(index + 1), "w"))
+        yield sim.timeout(1_000.0)
+
+    run(sim, scenario())
+    assert _counter(obs, "store.hints_queued", node="host-0") == 2
+    assert (
+        _counter(obs, "store.hints_dropped", node="host-0", reason="overflow") == 4
+    )

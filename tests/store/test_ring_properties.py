@@ -1,0 +1,111 @@
+"""Property-based tests: ring elasticity disturbs placement minimally.
+
+The elastic-membership subsystem leans on two ring properties:
+
+- **minimal disruption** — adding one node only ever redirects keys *to
+  that node*, and only within its own site; every other (key, site)
+  assignment is untouched, which is what keeps bootstrap streaming
+  proportional to the joiner's share instead of the whole keyspace; and
+- **reversibility** — removing the node restores the previous placement
+  exactly, so decommission is bootstrap run backwards.
+
+Both are checked against the bisect-based incremental token insertion
+(``add_node``), which must land tokens exactly where a full re-sort
+would.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.store import HashRing
+
+SITES = ["Ohio", "N.California", "Oregon"]
+
+
+def build_ring(nodes_per_site):
+    ring = HashRing(vnodes=16)
+    for site_index, site in enumerate(SITES):
+        for slot in range(nodes_per_site):
+            ring.add_node(f"store-{site_index}-{slot}", site)
+    return ring
+
+
+def placement(ring, keys):
+    """{key: {site: owner}} — the per-site assignment of every key."""
+    return {
+        key: {ring.site_of(owner): owner for owner in ring.replicas_for(key, 3)}
+        for key in keys
+    }
+
+
+keys_strategy = st.lists(
+    st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=12),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=keys_strategy,
+    nodes_per_site=st.integers(min_value=1, max_value=3),
+    site_index=st.integers(min_value=0, max_value=2),
+)
+def test_adding_a_node_moves_keys_only_to_it(keys, nodes_per_site, site_index):
+    ring = build_ring(nodes_per_site)
+    before = placement(ring, keys)
+    joiner = f"store-{site_index}-new"
+    ring.add_node(joiner, SITES[site_index])
+    after = placement(ring, keys)
+    for key in keys:
+        for site in SITES:
+            if site != SITES[site_index]:
+                # Other sites' assignments never change.
+                assert after[key][site] == before[key][site]
+            elif after[key][site] != before[key][site]:
+                # A changed slot changed *to the joiner*, never sideways.
+                assert after[key][site] == joiner
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=keys_strategy,
+    nodes_per_site=st.integers(min_value=1, max_value=3),
+    site_index=st.integers(min_value=0, max_value=2),
+)
+def test_remove_restores_prior_placement(keys, nodes_per_site, site_index):
+    ring = build_ring(nodes_per_site)
+    before = placement(ring, keys)
+    joiner = f"store-{site_index}-new"
+    ring.add_node(joiner, SITES[site_index])
+    ring.remove_node(joiner)
+    assert placement(ring, keys) == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    extra=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=1, max_value=5),
+        ),
+        max_size=6,
+        unique=True,
+    ),
+    keys=keys_strategy,
+)
+def test_bisect_insertion_matches_full_rebuild(extra, keys):
+    """Incremental joins in any order equal a from-scratch ring: the
+    O(log n) insertion must be indistinguishable from re-sorting."""
+    incremental = build_ring(1)
+    for site_index, slot in extra:
+        incremental.add_node(f"store-{site_index}-{slot}", SITES[site_index])
+
+    rebuilt = HashRing(vnodes=16)
+    for site_index, site in enumerate(SITES):
+        rebuilt.add_node(f"store-{site_index}-0", site)
+    for site_index, slot in sorted(extra, key=repr):
+        rebuilt.add_node(f"store-{site_index}-{slot}", SITES[site_index])
+
+    for key in keys:
+        assert incremental.replicas_for(key, 3) == rebuilt.replicas_for(key, 3)

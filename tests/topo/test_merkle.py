@@ -1,0 +1,82 @@
+"""Unit tests for the repair Merkle trees."""
+
+from repro.store.types import Row
+from repro.topo import MerkleTree, leaf_index, partition_hash
+
+
+def row(value, stamp, op_id=""):
+    r = Row()
+    r.apply_cell("v", value, stamp, op_id)
+    return r
+
+
+def view(**rows):
+    return dict(rows)
+
+
+DEPTH = 6
+
+
+def test_equal_content_hashes_equal():
+    a = MerkleTree(DEPTH)
+    b = MerkleTree(DEPTH)
+    for key in ["k1", "k2", "k3"]:
+        a.add("t", key, {"r": row(1, (5.0, "w"))})
+        b.add("t", key, {"r": row(1, (5.0, "w"))})
+    assert a.diff(b) == []
+    assert a.root() == b.root()
+
+
+def test_add_order_is_irrelevant():
+    """XOR leaves: memtable-first vs segment-first enumeration must not
+    change the tree (the engines enumerate in different orders)."""
+    a = MerkleTree(DEPTH)
+    b = MerkleTree(DEPTH)
+    parts = [("t", f"k{i}", {"r": row(i, (float(i), "w"))}) for i in range(10)]
+    for table, key, v in parts:
+        a.add(table, key, v)
+    for table, key, v in reversed(parts):
+        b.add(table, key, v)
+    assert a.diff(b) == []
+
+
+def test_value_divergence_is_localised():
+    a = MerkleTree(DEPTH)
+    b = MerkleTree(DEPTH)
+    for key in [f"k{i}" for i in range(20)]:
+        a.add("t", key, {"r": row(0, (1.0, "w"))})
+        value = 99 if key == "k7" else 0
+        b.add("t", key, {"r": row(value, (1.0, "w"))})
+    assert a.diff(b) == [leaf_index("k7", DEPTH)]
+
+
+def test_stamp_only_divergence_detected():
+    """Same value, different write stamp: still a divergence (v2s stamps
+    carry lock-order semantics and must converge exactly)."""
+    a = MerkleTree(DEPTH)
+    b = MerkleTree(DEPTH)
+    a.add("t", "k", {"r": row("same", (1.0, "w"))})
+    b.add("t", "k", {"r": row("same", (2.0, "w"))})
+    assert a.diff(b) == [leaf_index("k", DEPTH)]
+
+
+def test_tombstone_divergence_detected():
+    live = row("x", (1.0, "w"))
+    deleted = row("x", (1.0, "w"))
+    deleted.delete((2.0, "w"))
+    a = MerkleTree(DEPTH)
+    b = MerkleTree(DEPTH)
+    a.add("t", "k", {"r": live})
+    b.add("t", "k", {"r": deleted})
+    assert a.diff(b) == [leaf_index("k", DEPTH)]
+    assert partition_hash("t", "k", {"r": live}) != partition_hash(
+        "t", "k", {"r": deleted}
+    )
+
+
+def test_payload_roundtrip_and_size():
+    tree = MerkleTree(DEPTH)
+    tree.add("t", "k", {"r": row(1, (1.0, "w"))})
+    clone = MerkleTree.from_payload(tree.payload())
+    assert clone.diff(tree) == []
+    assert tree.size_bytes() == 8 * (2 * 64 - 1)
