@@ -109,6 +109,10 @@ def _params() -> Dict[str, Any]:
         "ycsb_warmup_ms": 3_000.0,
         "ycsb_window_ms": 15_000.0,
         "ycsb_seeds": [51, 151],
+        # Contention axis: the ISSUE's acceptance shape — 16 clients on
+        # one hot key — at both scales; full just runs more rounds.
+        "contention_clients": 16,
+        "contention_rounds": 3,
     }
     if scale_name() != "full":
         return quick
@@ -137,6 +141,7 @@ def _params() -> Dict[str, Any]:
             "ycsb_keys": 1000,
             "ycsb_window_ms": 25_000.0,
             "ycsb_seeds": [51, 151, 251],
+            "contention_rounds": 8,
         }
     )
     return full
@@ -1221,6 +1226,121 @@ def elastic_scaling() -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Lock-contention axis (the hot path of DESIGN.md §9)
+# ---------------------------------------------------------------------------
+
+
+def lock_contention() -> ExperimentResult:
+    """Contention axis: many clients hammering one hot key, with the
+    contention hot path (LWT group commit + synchFlag fast path + push
+    grants) off vs on.
+
+    Measures end-to-end critical sections per second and per-CS latency
+    (createLockRef through releaseLock).  Both runs must agree on the
+    final counter value — every critical section increments the hot key
+    exactly once — so the speedup cannot come from dropped exclusivity.
+    Writes a machine-readable baseline to
+    ``benchmarks/results/BENCH_contention.json``.
+    """
+    import json
+    import pathlib
+
+    p = _params()
+    n_clients = p["contention_clients"]
+    rounds = p["contention_rounds"]
+
+    def measure(fast: bool) -> Dict[str, Any]:
+        deployment = build_music(seed=606, fast_locks=fast)
+        sim = deployment.sim
+        sites = deployment.profile.site_names
+        clients = [
+            deployment.client(sites[index % len(sites)])
+            for index in range(n_clients)
+        ]
+        latencies: List[float] = []
+
+        def worker(client):
+            for _ in range(rounds):
+                started = sim.now
+                cs = yield from client.critical_section("hot", timeout_ms=1e9)
+                value = yield from cs.get()
+                yield from cs.put((value or 0) + 1)
+                yield from cs.exit()
+                latencies.append(sim.now - started)
+
+        procs = [sim.process(worker(client)) for client in clients]
+        for proc in procs:
+            sim.run_until_complete(proc, limit=1e10)
+        makespan_ms = sim.now
+
+        final: Dict[str, Any] = {}
+
+        def read_back():
+            cs = yield from clients[0].critical_section("hot", timeout_ms=1e9)
+            final["value"] = yield from cs.get()
+            yield from cs.exit()
+
+        sim.run_until_complete(sim.process(read_back()), limit=1e10)
+        summary = summarize(latencies)
+        return {
+            "mode": "hot-path-on" if fast else "hot-path-off",
+            "critical_sections": n_clients * rounds,
+            "final_value": final["value"],
+            "makespan_ms": round(makespan_ms, 3),
+            "cs_per_sec": round(n_clients * rounds / makespan_ms * 1000.0, 4),
+            "cs_latency_mean_ms": round(summary.mean, 3),
+            "cs_latency_p50_ms": round(summary.p50, 3),
+            "cs_latency_p99_ms": round(summary.p99, 3),
+        }
+
+    off = measure(False)
+    on = measure(True)
+    speedup = on["cs_per_sec"] / off["cs_per_sec"]
+    expected = n_clients * rounds
+    checks = [
+        (
+            "both modes serialized every increment "
+            f"(final value {off['final_value']}/{on['final_value']} == {expected})",
+            off["final_value"] == expected and on["final_value"] == expected,
+        ),
+        (
+            f"hot path sustains >= 2x critical sections/sec ({speedup:.2f}x)",
+            speedup >= 2.0,
+        ),
+        (
+            "hot path lowers p99 CS latency "
+            f"({on['cs_latency_p99_ms']:.0f} < {off['cs_latency_p99_ms']:.0f} ms)",
+            on["cs_latency_p99_ms"] < off["cs_latency_p99_ms"],
+        ),
+    ]
+    baseline = {
+        "scale": scale_name(),
+        "clients": n_clients,
+        "rounds_per_client": rounds,
+        "hot_keys": 1,
+        "speedup_cs_per_sec": round(speedup, 3),
+        "modes": [off, on],
+    }
+    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    try:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / "BENCH_contention.json").write_text(
+            json.dumps(baseline, indent=2) + "\n"
+        )
+    except OSError:
+        pass  # read-only checkout: the result still carries the data
+    text = render_table(
+        f"Lock contention — {n_clients} clients, 1 hot key (lUs)",
+        ["mode", "CS/sec", "mean (ms)", "p50 (ms)", "p99 (ms)", "makespan (ms)"],
+        [[row["mode"], row["cs_per_sec"], row["cs_latency_mean_ms"],
+          row["cs_latency_p50_ms"], row["cs_latency_p99_ms"], row["makespan_ms"]]
+         for row in (off, on)],
+    )
+    return ExperimentResult("lock_contention", "Contention hot path", text,
+                            {"baseline": baseline}, checks)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1242,6 +1362,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ext_hierarchical": ext_hierarchical,
     "storage_durability": storage_durability,
     "elastic_scaling": elastic_scaling,
+    "lock_contention": lock_contention,
 }
 
 

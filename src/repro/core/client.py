@@ -64,21 +64,37 @@ class MusicClient:
     # -- retry plumbing ---------------------------------------------------------
 
     def _with_failover(self, op_name: str, make_op) -> Generator[Any, Any, Any]:
-        """Run ``make_op(replica)`` with retries across replicas on nacks."""
+        """Run ``make_op(replica)`` with retries across replicas on nacks.
+
+        Every attempt contacts a live replica: known-failed replicas are
+        skipped by advancing the rotation cursor, not by burning one of
+        the ``op_retry_limit`` attempts.  If no live replica remains the
+        operation fails immediately rather than spinning the loop dry.
+        """
         last_error: Optional[BaseException] = None
         attempts = self.config.op_retry_limit
+        cursor = 0
         for attempt in range(attempts):
-            replica = self.replicas[attempt % len(self.replicas)]
-            if replica.failed:
-                continue
+            replica = None
+            for _ in range(len(self.replicas)):
+                candidate = self.replicas[cursor % len(self.replicas)]
+                cursor += 1
+                if not candidate.failed:
+                    replica = candidate
+                    break
+            if replica is None:
+                raise last_error or QuorumUnavailable(
+                    f"{op_name}: every replica is failed"
+                )
             try:
                 result = yield from make_op(replica)
                 return result
             except _RETRYABLE as error:
                 last_error = error
-                yield self.sim.timeout(
-                    self.config.op_retry_delay_ms * (1 + self._rng.random())
-                )
+                if attempt + 1 < attempts:
+                    yield self.sim.timeout(
+                        self.config.op_retry_delay_ms * (1 + self._rng.random())
+                    )
         raise last_error or QuorumUnavailable(f"{op_name}: no replica reachable")
 
     # -- MUSIC operations -------------------------------------------------------
@@ -100,23 +116,66 @@ class MusicClient:
     ) -> Generator[Any, Any, bool]:
         """Poll acquire_lock with backoff until granted.
 
-        Returns True when granted; False if ``timeout_ms`` elapsed first.
-        Raises :class:`NotLockHolder` if the lockRef was preempted while
-        waiting.
+        Returns True when granted; False if ``timeout_ms`` elapsed first
+        — the sleep between polls is clamped to the remaining deadline
+        and the deadline is re-checked before the next quorum attempt,
+        so the wait never overshoots ``timeout_ms``.  Raises
+        :class:`NotLockHolder` if the lockRef was preempted while
+        waiting.  With ``push_grants`` on, the sleep also wakes early on
+        a release notification for ``key``.
         """
         deadline = None if timeout_ms is None else self.sim.now + timeout_ms
         interval = self.config.acquire_poll_interval_ms
-        while True:
-            granted = yield from self.acquire_lock(key, lock_ref)
-            if granted:
-                return True
-            if deadline is not None and self.sim.now >= deadline:
-                return False
-            yield self.sim.timeout(interval * (1 + 0.2 * self._rng.random()))
-            interval = min(
-                interval * self.config.acquire_poll_backoff,
-                self.config.acquire_poll_max_ms,
-            )
+        # The release subscription outlives individual polls: a push
+        # arriving *while* a poll RPC is in flight would otherwise fall
+        # into an unsubscribed window, silently lost, and the waiter
+        # would back off toward acquire_poll_max_ms with the lock free.
+        waiter = None
+        waited_at = None
+        try:
+            while True:
+                if self.config.push_grants and waiter is None:
+                    waited_at = self.replica
+                    waiter = waited_at.subscribe_release(key)
+                granted = yield from self.acquire_lock(key, lock_ref)
+                if granted:
+                    return True
+                if deadline is not None and self.sim.now >= deadline:
+                    return False
+                pushed = False
+                if waiter is not None and waiter.triggered:
+                    # A release landed during the poll round trip:
+                    # re-poll eagerly instead of sleeping on it.
+                    waiter = None
+                    pushed = True
+                else:
+                    sleep = interval * (1 + 0.2 * self._rng.random())
+                    if deadline is not None:
+                        sleep = min(sleep, deadline - self.sim.now)
+                    if waiter is not None:
+                        which, _ = yield self.sim.any_of(
+                            [waiter, self.sim.timeout(sleep)]
+                        )
+                        if which == 0:
+                            waiter = None  # consumed by the notify
+                            pushed = True
+                    else:
+                        yield self.sim.timeout(sleep)
+                if pushed:
+                    # The grant is at most a local store apply away, so
+                    # re-poll on a short fuse (the push races the commit
+                    # round's replica writes by design).
+                    interval = min(self.config.acquire_poll_interval_ms, 3.0)
+                else:
+                    interval = min(
+                        interval * self.config.acquire_poll_backoff,
+                        self.config.acquire_poll_max_ms,
+                    )
+                if deadline is not None and self.sim.now >= deadline:
+                    return False
+        finally:
+            if waiter is not None:
+                waited_at.unsubscribe_release(key, waiter)
 
     def critical_put(self, key: str, lock_ref: int, value: Any) -> Generator[Any, Any, None]:
         """criticalPut, retried until acknowledged (the client obligation

@@ -52,3 +52,28 @@ class MusicConfig:
     # and synchronize the data store on every acquire, not just when the
     # synchFlag is set.
     always_sync: bool = False
+
+    # Contention hot path (DESIGN.md §9).  All three features default
+    # off with bit-identical timings; ``build_music(fast_locks=True)``
+    # flips them together.
+    #
+    # LWT group commit: concurrent createLockRef/releaseLock operations
+    # on the same key, arriving at the same coordinator within the batch
+    # window, share one Paxos round (one ballot, one atomic batch of
+    # queue mutations under the guard counter).
+    lwt_batch_enabled: bool = False
+    lwt_batch_window_ms: float = 2.0
+    # Cap on ops per batch flush: a slow coordinator otherwise grows
+    # ever-larger mint batches, minting long runs of consecutive lockRefs
+    # that serialize the grant order onto one site (and its quorum
+    # geometry).  Excess ops simply wait for the next self-clocked flush.
+    lwt_batch_max_ops: int = 4
+    # synchFlag fast path: skip the grant-time quorum flag read when the
+    # local forced-release epoch proves no forcedRelease has applied
+    # since this replica last established flag=False at quorum.
+    synch_fast_path: bool = False
+    # Push grants: releaseLock/forcedRelease notify waiting clients so
+    # acquire_lock_blocking wakes immediately instead of backing off.
+    push_grants: bool = False
+    # Remote long-poll ceiling for push-mode RemoteMusicClient waits.
+    push_wait_ms: float = 2_000.0

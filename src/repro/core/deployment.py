@@ -91,6 +91,7 @@ def build_music(
     wal_sync: Optional[str] = None,
     elastic: bool = False,
     topo_config=None,
+    fast_locks: Optional[bool] = None,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
@@ -116,6 +117,11 @@ def build_music(
     operations.  The default leaves the topology plane entirely
     unbuilt — no extra nodes, processes, or randomness — so simulated
     timings are bit-identical to earlier versions.
+
+    ``fast_locks=True`` flips the three contention-hot-path features of
+    DESIGN.md §9 together (LWT group commit, synchFlag fast path, push
+    grants) on the resolved ``MusicConfig``; the default leaves them off
+    with bit-identical timings.
     """
     profile = PAPER_PROFILES[profile_name]
     sim = sim or Simulator()
@@ -141,6 +147,10 @@ def build_music(
     music_config = music_config or MusicConfig()
     if failure_detection is not None:
         music_config.failure_detection_enabled = failure_detection
+    if fast_locks:
+        music_config.lwt_batch_enabled = True
+        music_config.synch_fast_path = True
+        music_config.push_grants = True
 
     auditor = None
     if audit:
@@ -187,6 +197,13 @@ def build_music(
                 detector = FailureDetector(replica)
                 detector.start()
                 detectors.append(detector)
+
+    # Sibling wiring for push-based grant notification; harmless (and
+    # unused) unless ``push_grants`` is on.
+    for replica in replicas:
+        replica.peer_ids = [
+            peer.node_id for peer in replicas if peer is not replica
+        ]
 
     return MusicDeployment(
         sim=sim, network=network, profile=profile, store=store,

@@ -43,6 +43,10 @@ from .timestamps import UNLOCKED_LOCK_REF, VectorTimestamp, check_overflow, v2s
 
 __all__ = ["MusicReplica", "VALUE_ROW", "SYNCH_ROW"]
 
+# Sentinel distinguishing "no cached flag epoch" from a cached epoch of
+# None (no forcedRelease ever applied to the key).
+_NO_EPOCH = object()
+
 # Clustering keys inside a key's data-table partition: the value row and
 # the synchFlag row are separate rows so the flag's quorum read stays
 # small regardless of the value size (the paper stores them as separate
@@ -73,9 +77,27 @@ class MusicReplica(Node):
         self.config = config or MusicConfig()
         self.store = store
         self.coordinator: StoreCoordinator = store.coordinator_for(self)
-        self.lock_store = LockStore(self.coordinator, self.clock)
+        self.lock_store = LockStore(
+            self.coordinator,
+            self.clock,
+            batch_window_ms=(
+                self.config.lwt_batch_window_ms
+                if self.config.lwt_batch_enabled
+                else None
+            ),
+            batch_max_ops=self.config.lwt_batch_max_ops,
+        )
         # Lease starts cached per (key, lockRef) once granted here.
         self._leases: Dict[Tuple[str, int], float] = {}
+        # synchFlag fast path (DESIGN.md §9): per-key forced-release
+        # epoch under which this replica last established flag=False at
+        # quorum.  Key absent = no fast-path evidence.
+        self._flag_epoch: Dict[str, Any] = {}
+        # Push grants: local waiters parked until the key's next dequeue,
+        # plus the sibling MUSIC replicas to notify (wired by deployment).
+        self._release_waiters: Dict[str, list] = {}
+        self.peer_ids: list = []
+        self.on("music.grantPush", self._on_grant_push)
         # Optional instrumentation: called as recorder(op_name, elapsed_ms).
         self.op_recorder: Optional[Callable[[str, float], None]] = None
         self.counters = {"forced_releases": 0, "syncs": 0}
@@ -125,7 +147,15 @@ class MusicReplica(Node):
         with self.obs.tracer.span(
             "music.acquireLock", node=self.node_id, site=self.site, key=key
         ) as span:
-            entry = yield from self._peek(key)
+            # The synchFlag fast path needs the forced-release epoch from
+            # the same local read the peek performs; the quorum-peek
+            # ablation bypasses it (its peek has no single local source).
+            fast_capable = self.config.synch_fast_path and not self.config.peek_quorum
+            if fast_capable:
+                entry, epoch = yield from self.lock_store.peek_with_epoch(key)
+            else:
+                entry = yield from self._peek(key)
+                epoch = None
             if entry is None or lock_ref > entry.lock_ref:
                 # Not first yet, or the local lock-store replica lags: retry.
                 span.set(granted=False)
@@ -136,36 +166,65 @@ class MusicReplica(Node):
                 raise NotLockHolder(f"lockRef {lock_ref} on {key!r} was forcibly released")
 
             grant_started = self.sim.now
+            fast = fast_capable and self._fast_path_valid(key, epoch)
+            flag = False
             with self.obs.tracer.span(
                 "music.grant", node=self.node_id, site=self.site, key=key
-            ):
-                flag_rows = yield from self.coordinator.get(
-                    self.data_table, key, clustering=SYNCH_ROW,
-                    consistency=Consistency.QUORUM,
-                )
-                flag = False
-                if SYNCH_ROW in flag_rows:
-                    flag = bool(flag_rows[SYNCH_ROW].visible_values().get("flag", False))
-                audit = self.obs.audit
-                if audit.enabled:
-                    audit.emit(
-                        "flag_read", key=key, node=self.node_id,
-                        lock_ref=lock_ref, flag=flag, started_ms=grant_started,
+            ) as grant_span:
+                if fast:
+                    # The cached epoch matches the marker seen by the
+                    # peek that proved us queue head: no forcedRelease
+                    # applied since this replica last saw flag=False at
+                    # quorum, so the flag cannot have been set (only
+                    # forcedRelease sets it) and the store is defined.
+                    grant_span.set(fast=True)
+                    self.obs.metrics.counter(
+                        "music.fastpath.hits", node=self.node_id
+                    ).inc()
+                else:
+                    flag_rows = yield from self.coordinator.get(
+                        self.data_table, key, clustering=SYNCH_ROW,
+                        consistency=Consistency.QUORUM,
                     )
-                if flag or self.config.always_sync:
-                    yield from self._synchronize(key, lock_ref)
+                    if SYNCH_ROW in flag_rows:
+                        flag = bool(
+                            flag_rows[SYNCH_ROW].visible_values().get("flag", False)
+                        )
+                    audit = self.obs.audit
+                    if audit.enabled:
+                        audit.emit(
+                            "flag_read", key=key, node=self.node_id,
+                            lock_ref=lock_ref, flag=flag, started_ms=grant_started,
+                        )
+                    if flag or self.config.always_sync:
+                        yield from self._synchronize(key, lock_ref)
+                    if fast_capable:
+                        # flag=False now holds at quorum (read clean or
+                        # just re-established by the sync); remember the
+                        # peek-time epoch as the evidence horizon.
+                        self._flag_epoch[key] = epoch
+                        self.obs.metrics.counter(
+                            "music.fastpath.misses", node=self.node_id
+                        ).inc()
 
                 start_time = self.clock.now()
                 yield from self.lock_store.set_start_time(key, lock_ref, start_time)
             self._leases[(key, lock_ref)] = start_time
             span.set(granted=True)
+            audit = self.obs.audit
             if audit.enabled:
                 audit.emit(
                     "grant", key=key, node=self.node_id,
-                    lock_ref=lock_ref, flag=flag,
+                    lock_ref=lock_ref, flag=flag, fast=fast,
                 )
             self._record("acquireLock.grant", grant_started)
             return True
+
+    def _fast_path_valid(self, key: str, epoch: Any) -> bool:
+        """True when the cached flag epoch proves the grant-time quorum
+        flag read can be skipped (see DESIGN.md §9 for the argument)."""
+        cached = self._flag_epoch.get(key, _NO_EPOCH)
+        return cached is not _NO_EPOCH and cached == epoch
 
     def _synchronize(self, key: str, lock_ref: int) -> Generator[Any, Any, None]:
         """Re-establish 'the data store is defined as the true value'.
@@ -351,9 +410,30 @@ class MusicReplica(Node):
             entry = yield from self.lock_store.peek(key)
             if entry is not None and lock_ref < entry.lock_ref:
                 return True  # lock was already forcibly released
-            yield from self.lock_store.dequeue(key, lock_ref)
+            # With push grants on, waiters are notified the moment the
+            # dequeue is *decided* (proposal accepted), overlapping the
+            # wake-up with the commit round's WAN acks — the push is
+            # advisory, so a waiter that polls too early just polls again.
+            # The audit event must fire at the same decide point: a
+            # push-woken successor can be granted during the commit
+            # round, and the auditor linearizes by event order.
+            push = self._push_hook(key)
             audit = self.obs.audit
-            if audit.enabled:
+            decided_seen = []
+
+            def decided() -> None:
+                decided_seen.append(True)
+                if audit.enabled:
+                    audit.emit(
+                        "release", key=key, node=self.node_id, lock_ref=lock_ref
+                    )
+                if push is not None:
+                    push()
+
+            yield from self.lock_store.dequeue(
+                key, lock_ref, on_committing=decided
+            )
+            if not decided_seen and audit.enabled:
                 audit.emit(
                     "release", key=key, node=self.node_id, lock_ref=lock_ref
                 )
@@ -391,13 +471,76 @@ class MusicReplica(Node):
                     lock_ref=lock_ref, stamp=forced_stamp, flag=True,
                     reason="forced",
                 )
-            yield from self.lock_store.dequeue(key, lock_ref)
-            if audit.enabled:
+            # Under the fast path the dequeue also bumps the key's
+            # forced-release epoch marker (atomically, same LWT) so
+            # cached flag epochs elsewhere go stale.  Our own cache is
+            # dropped regardless: this replica just wrote flag=True.
+            self._flag_epoch.pop(key, None)
+            push = self._push_hook(key)
+            decided_seen = []
+
+            def decided() -> None:
+                decided_seen.append(True)
+                if audit.enabled:
+                    audit.emit(
+                        "forced_release", key=key, node=self.node_id,
+                        lock_ref=lock_ref, stamp=forced_stamp,
+                    )
+                if push is not None:
+                    push()
+
+            yield from self.lock_store.dequeue(
+                key, lock_ref, forced=self.config.synch_fast_path,
+                on_committing=decided,
+            )
+            if not decided_seen and audit.enabled:
                 audit.emit(
                     "forced_release", key=key, node=self.node_id,
                     lock_ref=lock_ref, stamp=forced_stamp,
                 )
         return True
+
+    # -- push-based grant notification (DESIGN.md §9) -----------------------------
+
+    def _push_hook(self, key: str):
+        """The dequeue's decided-hook when push grants are on, else None
+        (None keeps the default path free of even closure allocation)."""
+        if not self.config.push_grants:
+            return None
+        return lambda: self._push_release(key)
+
+    def subscribe_release(self, key: str):
+        """An Event succeeding at the key's next (observed) dequeue."""
+        event = self.sim.event(name=f"grantPush:{key}")
+        self._release_waiters.setdefault(key, []).append(event)
+        return event
+
+    def unsubscribe_release(self, key: str, event) -> None:
+        waiters = self._release_waiters.get(key)
+        if waiters and event in waiters:
+            waiters.remove(event)
+            if not waiters:
+                del self._release_waiters[key]
+
+    def _notify_release(self, key: str) -> None:
+        waiters = self._release_waiters.pop(key, None)
+        if not waiters:
+            return
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(True)
+
+    def _on_grant_push(self, msg) -> None:
+        self._notify_release(msg.body["key"])
+
+    def _push_release(self, key: str) -> None:
+        """Wake local waiters and nudge sibling replicas (best-effort
+        one-way sends: a lost push only means the waiter falls back to
+        its poll timer)."""
+        self.obs.metrics.counter("music.push.notifies", node=self.node_id).inc()
+        self._notify_release(key)
+        for peer in self.peer_ids:
+            self.send(peer, "music.grantPush", {"key": key})
 
     # -- unlocked convenience ops (Section VI, "Additional Functions") ---------------
 

@@ -22,6 +22,7 @@ from ..errors import (
     RpcTimeout,
 )
 from ..net import Node
+from ..net.node import DEFAULT_RPC_TIMEOUT_MS
 from ..sim import RandomStreams
 from ..store.types import payload_size
 from .replica import MusicReplica
@@ -71,8 +72,22 @@ def install_service(replica: MusicReplica) -> None:
 
         return handler
 
+    def wait_release(msg) -> Generator[Any, Any, None]:
+        # Long-poll for push grants: hold the request until the key's
+        # next observed dequeue, or the client-supplied bound elapses.
+        body = replica.payload(msg)
+        waiter = replica.subscribe_release(body["key"])
+        try:
+            yield replica.sim.any_of(
+                [waiter, replica.sim.timeout(body["wait_ms"])]
+            )
+        finally:
+            replica.unsubscribe_release(body["key"], waiter)
+        replica.reply(msg, {"ok": True, "result": None})
+
     for kind, (method_name, arg_names) in _OPERATIONS.items():
         replica.on(kind, make_handler(method_name, arg_names))
+    replica.on("music.waitRelease", wait_release)
 
 
 class RemoteMusicClient:
@@ -102,12 +117,28 @@ class RemoteMusicClient:
         self._rng = (streams or RandomStreams(0)).stream(f"remote:{host.node_id}")
 
     def _invoke(self, kind: str, body: dict) -> Generator[Any, Any, Any]:
+        """One operation with failover, mirroring the library client's
+        attempt accounting: known-failed replicas advance the rotation
+        cursor without consuming an attempt, and exhausting the live set
+        fails immediately."""
         last_error: Optional[BaseException] = None
         size = payload_size(body.get("value")) + 48
-        for attempt in range(self.config.op_retry_limit):
-            replica = self.replicas[attempt % len(self.replicas)]
-            if replica.failed:
-                continue
+        attempts = self.config.op_retry_limit
+        cursor = 0
+        for attempt in range(attempts):
+            replica = None
+            for _ in range(len(self.replicas)):
+                candidate = self.replicas[cursor % len(self.replicas)]
+                cursor += 1
+                if not candidate.failed:
+                    replica = candidate
+                    break
+            if replica is None:
+                if isinstance(last_error, RpcTimeout):
+                    raise QuorumUnavailable(f"{kind}: {last_error}") from last_error
+                raise last_error or QuorumUnavailable(
+                    f"{kind}: every replica is failed"
+                )
             try:
                 reply = yield from self.host.call(
                     replica.node_id, kind, body, size_bytes=size
@@ -121,9 +152,10 @@ class RemoteMusicClient:
             if error_class in (NotLockHolder, LeaseExpired):
                 raise error_class(reply["error"])  # terminal: do not retry
             last_error = error_class(reply["error"])
-            yield self.sim.timeout(
-                self.config.op_retry_delay_ms * (1 + self._rng.random())
-            )
+            if attempt + 1 < attempts:
+                yield self.sim.timeout(
+                    self.config.op_retry_delay_ms * (1 + self._rng.random())
+                )
         if isinstance(last_error, RpcTimeout):
             # Exhausted retries on unreachable replicas: surface the
             # Section III-A nack, not a transport detail.
@@ -153,11 +185,37 @@ class RemoteMusicClient:
                 return True
             if deadline is not None and self.sim.now >= deadline:
                 return False
-            yield self.sim.timeout(interval)
-            interval = min(
-                interval * self.config.acquire_poll_backoff,
-                self.config.acquire_poll_max_ms,
+            if self.config.push_grants:
+                # Long-poll a nearby replica: the reply arrives at the
+                # key's next dequeue (or after the wait bound), replacing
+                # the blind backoff sleep with a push wake-up.
+                wait_ms = self.config.push_wait_ms
+                if deadline is not None:
+                    wait_ms = min(wait_ms, deadline - self.sim.now)
+                yield from self._wait_release(key, wait_ms)
+            else:
+                sleep = interval
+                if deadline is not None:
+                    sleep = min(sleep, deadline - self.sim.now)
+                yield self.sim.timeout(sleep)
+                interval = min(
+                    interval * self.config.acquire_poll_backoff,
+                    self.config.acquire_poll_max_ms,
+                )
+            if deadline is not None and self.sim.now >= deadline:
+                return False
+
+    def _wait_release(self, key: str, wait_ms: float) -> Generator[Any, Any, None]:
+        replica = next((r for r in self.replicas if not r.failed), self.replicas[0])
+        try:
+            yield from self.host.call(
+                replica.node_id,
+                "music.waitRelease",
+                {"key": key, "wait_ms": wait_ms},
+                timeout=wait_ms + DEFAULT_RPC_TIMEOUT_MS,
             )
+        except RpcTimeout:
+            pass  # replica unreachable: fall back to the next poll
 
     def critical_put(self, key: str, lock_ref: int, value: Any) -> Generator[Any, Any, None]:
         done = yield from self._invoke(

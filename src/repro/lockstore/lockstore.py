@@ -24,17 +24,34 @@ Operations map to the paper's primitives:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..errors import LockContention
+from ..errors import LockContention, ReproError
 from ..sim import NodeClock
 from ..store import Condition, Consistency, StoreCoordinator
 from ..store.types import DeleteRow, Update
 
-__all__ = ["LOCK_TABLE", "LockEntry", "LockStore"]
+__all__ = ["FORCED_ROW", "LOCK_TABLE", "LockEntry", "LockStore"]
 
 LOCK_TABLE = "music_locks"
 GUARD_ROW = "guard"
+# The forced-release epoch marker (DESIGN.md §9): written atomically
+# with a *forced* dequeue (same LWT mutation batch), never by a clean
+# release.  Its cell stamp is the per-key forced-release epoch the
+# synchFlag fast path compares against; like the guard it is a string
+# clustering, so queue reads (which keep only int clusterings) never
+# see it.
+FORCED_ROW = "__forced__"
+
+
+@dataclass
+class _BatchOp:
+    """One queue mutation waiting in a group-commit batch."""
+
+    kind: str  # "enqueue" | "dequeue"
+    lock_ref: Optional[int]
+    event: Any  # sim Event resolved with the op's result
+    on_committing: Optional[Any] = None  # advisory hook, see coordinator.cas
 
 
 @dataclass
@@ -54,12 +71,35 @@ class LockStore:
         coordinator: StoreCoordinator,
         clock: NodeClock,
         max_enqueue_attempts: int = 20,
+        batch_window_ms: Optional[float] = None,
+        batch_max_ops: int = 4,
     ) -> None:
         self.coordinator = coordinator
         self.clock = clock
         self.max_enqueue_attempts = max_enqueue_attempts
+        # LWT group commit (DESIGN.md §9): None disables batching and
+        # keeps the one-round-per-op seed path bit-identical.  The
+        # commit is self-clocking: an op finding the key idle runs the
+        # plain one-op LWT immediately (holding the key's busy token);
+        # ops arriving while an LWT is in flight queue up and are
+        # flushed as one guarded batch when the token frees.
+        self.batch_window_ms = batch_window_ms
+        self.batch_max_ops = batch_max_ops
+        self.sim = coordinator.sim
+        self._batches: Dict[str, List[_BatchOp]] = {}
+        self._busy: Dict[str, bool] = {}
         self._writer = coordinator.node.node_id
         self.obs = coordinator.node.obs
+        # Ballot-loss priority (batch mode only; 1.0 = seed schedule):
+        # dequeues sit on the serial lock-handover chain, so they
+        # re-contest a lost ballot quickly, while mint batches — whose
+        # latency is hidden by queue wait — yield the partition.
+        if batch_window_ms is not None:
+            self._dequeue_backoff_scale = 0.25
+            self._mint_backoff_scale = 2.0
+        else:
+            self._dequeue_backoff_scale = 1.0
+            self._mint_backoff_scale = 1.0
 
     def _stamp(self) -> Tuple[float, str]:
         """A lock-table stamp in the same units as CAS ballot stamps
@@ -76,7 +116,17 @@ class LockStore:
         an eventual read, then conditionally increment it and insert the
         queue row in one light-weight transaction, retrying the whole
         sequence if another client won the race.
+
+        With LWT group commit enabled, concurrent mints on the same key
+        at this coordinator share one Paxos round instead.
         """
+        if self.batch_window_ms is not None:
+            ref = yield from self._submit_enqueue(key)
+            return ref
+        ref = yield from self._enqueue_direct(key)
+        return ref
+
+    def _enqueue_direct(self, key: str) -> Generator[Any, Any, int]:
         with self.obs.tracer.span(
             "lockstore.enqueue", node=self._writer, key=key
         ) as span:
@@ -89,6 +139,24 @@ class LockStore:
                     guard = rows[GUARD_ROW].visible_values().get("value")
                 lock_ref = (guard or 0) + 1
                 stamp = self._stamp()
+                # The audit event fires at the CAS decide point, not
+                # after the commit acks: a rival mint can observe the
+                # new guard (and emit its own event) during our commit
+                # round, and the auditor linearizes by event order.
+                audit = self.obs.audit
+                emitted = []
+
+                def decided(
+                    lock_ref=lock_ref, attempt=attempt, recovered=False
+                ) -> None:
+                    emitted.append(True)
+                    if audit.enabled:
+                        audit.emit(
+                            "enqueue", key=key, node=self._writer,
+                            lock_ref=lock_ref, attempts=attempt + 1,
+                            recovered=recovered,
+                        )
+
                 result = yield from self.coordinator.cas(
                     LOCK_TABLE,
                     key,
@@ -106,15 +174,18 @@ class LockStore:
                     # Lock-table stamps must follow the CAS linearization
                     # order, not coordinator clocks (which may disagree).
                     stamp_with_ballot=True,
+                    on_committing=decided,
+                    backoff_scale=self._mint_backoff_scale,
                 )
                 if result.applied:
                     span.set(attempts=attempt + 1)
-                    audit = self.obs.audit
-                    if audit.enabled:
-                        audit.emit(
-                            "enqueue", key=key, node=self._writer,
-                            lock_ref=lock_ref, attempts=attempt + 1,
-                        )
+                    if not emitted:
+                        # A rival coordinator's recovery completed our
+                        # partially-accepted proposal: the mint took
+                        # effect earlier than now, so the event carries
+                        # recovered=True (its emission time is not its
+                        # linearization time).
+                        decided(recovered=True)
                     return lock_ref
                 # Someone else advanced the guard first; re-read and retry.
                 # Guard contention is the LWT contention rate of the
@@ -137,6 +208,34 @@ class LockStore:
         with self.obs.tracer.span("lockstore.peek", node=self._writer, key=key):
             rows = yield from self._read_queue(key, Consistency.LOCAL_ONE)
         return self._first(rows)
+
+    def peek_with_epoch(
+        self, key: str
+    ) -> Generator[Any, Any, Tuple[Optional[LockEntry], Any]]:
+        """Local peek plus the key's forced-release epoch.
+
+        The epoch is the LWW stamp of the ``FORCED_ROW`` marker cell (or
+        None if no forcedRelease ever applied here) from the *same*
+        local partition read the peek already performs, so it costs
+        nothing extra.  CAS ballot stamps grow strictly per partition,
+        so every applied forced dequeue changes the marker stamp.
+        """
+        with self.obs.tracer.span("lockstore.peek", node=self._writer, key=key):
+            rows = yield from self.coordinator.get(
+                LOCK_TABLE, key, consistency=Consistency.LOCAL_ONE
+            )
+        queue = {
+            clustering: row
+            for clustering, row in rows.items()
+            if isinstance(clustering, int)
+        }
+        epoch = None
+        marker = rows.get(FORCED_ROW)
+        if marker is not None:
+            cell = marker.visible_cells().get("ref")
+            if cell is not None:
+                epoch = cell.stamp
+        return self._first(queue), epoch
 
     def peek_quorum(self, key: str) -> Generator[Any, Any, Optional[LockEntry]]:
         """A quorum peek (used by failure detection to avoid acting on
@@ -177,12 +276,76 @@ class LockStore:
 
     # -- lsDequeue ----------------------------------------------------------------
 
-    def dequeue(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+    def dequeue(
+        self,
+        key: str,
+        lock_ref: int,
+        forced: bool = False,
+        on_committing=None,
+    ) -> Generator[Any, Any, bool]:
         """Remove ``lock_ref`` from the queue via an LWT delete.
 
         Returns True whether the row was removed now or already gone
         (the paper's "no-op if lockRef not in queue").
+
+        ``forced=True`` marks a forcedRelease preemption: the delete also
+        bumps the key's forced-release epoch row in the *same* LWT, so a
+        fast-path replica whose cached epoch predates the preemption is
+        guaranteed to see a changed marker stamp and fall back to the
+        quorum synchFlag read.  The marker is written only when the
+        delete actually applies — a forced dequeue that loses the exists
+        race to a clean release preempted nobody and must not invalidate
+        fast-path caches.
+
+        ``on_committing`` is forwarded to the LWT (advisory decided-hook;
+        see :meth:`StoreCoordinator.cas`).
         """
+        if forced:
+            with self.obs.tracer.span(
+                "lockstore.dequeue", node=self._writer, key=key, forced=True
+            ):
+                stamp = self._stamp()
+                yield from self.coordinator.cas(
+                    LOCK_TABLE,
+                    key,
+                    Condition("exists", clustering=lock_ref),
+                    [
+                        DeleteRow(LOCK_TABLE, key, lock_ref, stamp),
+                        Update(LOCK_TABLE, key, FORCED_ROW, {"ref": lock_ref}, stamp),
+                    ],
+                    stamp_with_ballot=True,
+                    on_committing=on_committing,
+                    backoff_scale=self._dequeue_backoff_scale,
+                )
+            return True
+        if self.batch_window_ms is not None:
+            if not self._busy.get(key):
+                # Take the busy token so concurrent mints queue behind
+                # this dequeue instead of racing its ballot; the dequeue
+                # itself runs the plain LWT (release latency is on the
+                # lock handover path).
+                self._busy[key] = True
+                try:
+                    result = yield from self._dequeue_direct(
+                        key, lock_ref, on_committing
+                    )
+                finally:
+                    self._handoff(key)
+                return result
+            # A same-key LWT from this coordinator is already in flight
+            # (or accumulating): ride the next flush rather than racing
+            # its ballot — two proposers from one node can only lose
+            # rounds to each other.
+            result = yield from self._submit_op(
+                key, _BatchOp("dequeue", lock_ref, None, on_committing)
+            )
+            return result
+        result = yield from self._dequeue_direct(key, lock_ref, on_committing)
+        return result
+
+    def _dequeue_direct(
+        self, key: str, lock_ref: int, on_committing=None
+    ) -> Generator[Any, Any, bool]:
         with self.obs.tracer.span("lockstore.dequeue", node=self._writer, key=key):
             result = yield from self.coordinator.cas(
                 LOCK_TABLE,
@@ -190,10 +353,184 @@ class LockStore:
                 Condition("exists", clustering=lock_ref),
                 [DeleteRow(LOCK_TABLE, key, lock_ref, self._stamp())],
                 stamp_with_ballot=True,  # the tombstone must beat the insert
+                on_committing=on_committing,
+                # In batch mode the dequeue is the lock handover: on a
+                # ballot loss re-contest quickly instead of ceding the
+                # partition to off-chain mints (which back off longer).
+                backoff_scale=self._dequeue_backoff_scale,
             )
         # result.applied False means the row was already gone: still a
         # success (the paper's "no-op if lockRef not in queue").
         return True
+
+    # -- LWT group commit (DESIGN.md §9) ----------------------------------------
+
+    def _submit_enqueue(self, key: str) -> Generator[Any, Any, int]:
+        """Self-clocking group commit for mints: run the plain LWT when
+        the key is idle here; otherwise queue for the next batch flush."""
+        if not self._busy.get(key):
+            self._busy[key] = True
+            try:
+                ref = yield from self._enqueue_direct(key)
+            finally:
+                self._handoff(key)
+            return ref
+        ref = yield from self._submit_op(key, _BatchOp("enqueue", None, None))
+        return ref
+
+    def _submit_op(self, key: str, op: _BatchOp) -> Generator[Any, Any, Any]:
+        op.event = self.sim.event(name=f"lwtbatch:{op.kind}:{key}")
+        self._batches.setdefault(key, []).append(op)
+        result = yield op.event
+        return result
+
+    def _handoff(self, key: str) -> None:
+        """Release the key's busy token: flush anything that queued up
+        while the last LWT was in flight, or go idle."""
+        if self._batches.get(key):
+            self.sim.process(self._flush(key), name=f"lwtbatch:{key}")
+        else:
+            self._busy[key] = False
+
+    def _flush(self, key: str) -> Generator[Any, Any, None]:
+        """Commit every queued op for ``key`` in one guarded LWT."""
+        if self.batch_window_ms > 0:
+            # The knob: a short extra accumulation window so ops landing
+            # just behind the queued ones share the round too.
+            yield self.sim.timeout(self.batch_window_ms)
+        queued = self._batches.get(key, [])
+        # Bounded flush: minting long runs of consecutive refs would
+        # serialize the grant order onto this one site, so leave the
+        # excess for the next self-clocked flush.
+        ops = queued[: self.batch_max_ops]
+        if len(queued) > self.batch_max_ops:
+            self._batches[key] = queued[self.batch_max_ops:]
+        else:
+            self._batches.pop(key, None)
+        try:
+            if ops:
+                yield from self._flush_ops(key, ops)
+        except ReproError as error:
+            # Surface the store-layer failure to every waiter; clients
+            # treat it exactly like a non-batched LWT failure (retry or
+            # fail over).
+            for op in ops:
+                if not op.event.triggered:
+                    op.event.fail(error)
+        finally:
+            self._handoff(key)
+
+    @staticmethod
+    def _batch_guard_target(base: int, enqueues: int) -> int:
+        """The guard value after minting ``enqueues`` refs above ``base``.
+
+        Kept as a hook point so mutation tests can break batch atomicity
+        (advance the guard by less than the refs handed out) and prove
+        the runtime auditor flags the duplicate mint.
+        """
+        return base + enqueues
+
+    def _flush_ops(self, key: str, ops: List[_BatchOp]) -> Generator[Any, Any, None]:
+        enqueues = [op for op in ops if op.kind == "enqueue"]
+        dequeues = [op for op in ops if op.kind == "dequeue"]
+        if not enqueues:
+            # Pure-dequeue batch: the exists-per-ref condition of the
+            # plain path is both cheaper and insensitive to concurrent
+            # mints from other coordinators, so run it per op.
+            for op in dequeues:
+                yield from self._dequeue_direct(key, op.lock_ref, op.on_committing)
+                op.event.succeed(True)
+            return
+
+        with self.obs.tracer.span(
+            "lockstore.batchFlush", node=self._writer, key=key, size=len(ops)
+        ) as span:
+            for attempt in range(self.max_enqueue_attempts):
+                rows = yield from self.coordinator.get(
+                    LOCK_TABLE, key, clustering=GUARD_ROW, consistency=Consistency.ONE
+                )
+                guard = None
+                if GUARD_ROW in rows:
+                    guard = rows[GUARD_ROW].visible_values().get("value")
+                base = guard or 0
+                stamp = self._stamp()
+                refs = [base + 1 + i for i in range(len(enqueues))]
+                mutations: List[Any] = [
+                    Update(
+                        LOCK_TABLE,
+                        key,
+                        GUARD_ROW,
+                        {"value": self._batch_guard_target(base, len(enqueues))},
+                        stamp,
+                    )
+                ]
+                enqueued_at = self.clock.now()
+                for ref in refs:
+                    mutations.append(
+                        Update(
+                            LOCK_TABLE,
+                            key,
+                            ref,
+                            {"enqueued_at": enqueued_at, "startTime": None},
+                            stamp,
+                        )
+                    )
+                for op in dequeues:
+                    mutations.append(
+                        DeleteRow(LOCK_TABLE, key, op.lock_ref, stamp)
+                    )
+                # The whole batch linearizes at the guard CAS's decide
+                # point: the enqueue audit events (ascending — the FIFO
+                # checker requires mint order == linearization order)
+                # and the dequeues' decided-hooks all fire there, before
+                # the commit acks a rival coordinator could overlap.
+                audit = self.obs.audit
+                emitted = []
+
+                def committing(
+                    refs=refs, attempt=attempt, recovered=False
+                ) -> None:
+                    emitted.append(True)
+                    if audit.enabled:
+                        for ref in refs:
+                            audit.emit(
+                                "enqueue", key=key, node=self._writer,
+                                lock_ref=ref, attempts=attempt + 1,
+                                recovered=recovered,
+                            )
+                    for op in dequeues:
+                        if op.on_committing is not None:
+                            op.on_committing()
+
+                result = yield from self.coordinator.cas(
+                    LOCK_TABLE,
+                    key,
+                    Condition("col_eq", GUARD_ROW, column="value", expected=guard),
+                    mutations,
+                    stamp_with_ballot=True,
+                    on_committing=committing,
+                    backoff_scale=self._mint_backoff_scale,
+                )
+                if result.applied:
+                    span.set(attempts=attempt + 1)
+                    self.obs.metrics.histogram(
+                        "lockstore.batch.size", node=self._writer
+                    ).observe(len(ops))
+                    self.obs.metrics.counter(
+                        "lockstore.batch.flushes", node=self._writer
+                    ).inc()
+                    if not emitted:
+                        committing(recovered=True)
+                    for op, ref in zip(enqueues, refs):
+                        op.event.succeed(ref)
+                    for op in dequeues:
+                        op.event.succeed(True)
+                    return
+                self.obs.metrics.counter("lockstore.enqueue.conflicts", key=key).inc()
+        raise LockContention(
+            f"could not commit a batch of {len(ops)} ops for {key!r} after "
+            f"{self.max_enqueue_attempts} attempts"
+        )
 
     # -- lease bookkeeping -----------------------------------------------------------
 

@@ -222,7 +222,7 @@ class ECFAuditor:
         self.violation_counts: Dict[str, int] = {}
         self.counters: Dict[str, int] = {
             "zombie_grants": 0, "zombie_puts": 0, "zombie_gets": 0,
-            "faults": 0, "lwts": 0,
+            "recovered_mints": 0, "faults": 0, "lwts": 0,
         }
         self._keys: Dict[str, _KeyState] = {}
         self._fault_recent: "deque[Tuple[int, str]]" = deque(maxlen=4)
@@ -303,11 +303,18 @@ class ECFAuditor:
     def _on_enqueue(self, event: AuditEvent, state: _KeyState) -> None:
         ref = event.lock_ref
         if ref <= state.last_enqueued:
-            self._violate(
-                "LockQueueFIFO", event, state,
-                f"lockRef {ref} minted after {state.last_enqueued}: the LWT "
-                "guard must yield strictly increasing references",
-            )
+            if event.fields.get("recovered"):
+                # The mint was completed by a rival coordinator's LWT
+                # recovery: it linearized before the rival's own mint
+                # but the loser only learned (and emitted) afterwards.
+                # Emission order is not mint order here, by construction.
+                self.counters["recovered_mints"] += 1
+            else:
+                self._violate(
+                    "LockQueueFIFO", event, state,
+                    f"lockRef {ref} minted after {state.last_enqueued}: the "
+                    "LWT guard must yield strictly increasing references",
+                )
         state.last_enqueued = max(state.last_enqueued, ref)
         state.queue.add(ref)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import LockContention, QuorumUnavailable, ReproError
 from ..net import Node, await_quorum, quorum_size
@@ -333,6 +333,8 @@ class StoreCoordinator:
         mutation: Mutation,
         max_attempts: Optional[int] = None,
         stamp_with_ballot: bool = False,
+        on_committing: Optional[Callable[[], None]] = None,
+        backoff_scale: float = 1.0,
     ) -> Generator[Any, Any, CasResult]:
         """Compare-and-set: apply ``mutation`` iff ``condition`` holds.
 
@@ -348,6 +350,19 @@ class StoreCoordinator:
         coordinators' clocks disagree.  Without it, the caller's stamps
         are used verbatim (needed when stamps carry semantics, like
         MUSIC's v2s vector timestamps).
+
+        ``on_committing`` (if given) fires exactly once, after this
+        operation's proposal is accepted by a quorum — i.e. the outcome
+        is decided — but before the commit round's acks return.  Callers
+        use it for advisory side-channels (e.g. push-based grant
+        notification) that may overlap the commit round; anything
+        correctness-bearing must wait for the returned
+        :class:`CasResult`.
+
+        ``backoff_scale`` scales the ballot-loss backoff: latency-
+        critical CAS (a lock handover) passes < 1 to re-contest quickly,
+        while deferrable work (a mint batch) passes > 1 to yield the
+        partition.  The default leaves the schedule untouched.
         """
         attempts = max_attempts or self.config.cas_max_attempts
         # One identity for the whole logical operation: re-stamped retry
@@ -361,7 +376,8 @@ class StoreCoordinator:
         ) as span:
             for attempt in range(attempts):
                 outcome = yield from self._cas_once(
-                    table, partition, condition, mutation, stamp_with_ballot
+                    table, partition, condition, mutation, stamp_with_ballot,
+                    on_committing,
                 )
                 if outcome is not None:
                     span.set(attempts=attempt + 1, applied=outcome.applied)
@@ -380,7 +396,8 @@ class StoreCoordinator:
                 # partition admits roughly one winner per LWT duration, so
                 # losers must spread out across many such rounds.
                 backoff = min(
-                    self.config.cas_backoff_base_ms * (2 ** min(attempt, 7)),
+                    self.config.cas_backoff_base_ms * backoff_scale
+                    * (2 ** min(attempt, 7)),
                     2_000.0,
                 )
                 backoff += self._rng.uniform(0.0, self.config.cas_backoff_jitter_ms)
@@ -396,6 +413,7 @@ class StoreCoordinator:
         condition: Condition,
         mutation: Mutation,
         stamp_with_ballot: bool = False,
+        on_committing: Optional[Callable[[], None]] = None,
     ) -> Generator[Any, Any, Optional[CasResult]]:
         """One Paxos attempt; returns None to signal retry-with-backoff."""
         yield from self.node.compute(self.config.coordinator_service_ms)
@@ -446,8 +464,11 @@ class StoreCoordinator:
             _stale_ballot, stale_mutation = max(in_progress, key=lambda pair: pair[0])
             accepted = yield from self._propose(replicas, needed, target, stale_mutation)
             if accepted:
+                ours = self._same_mutation(stale_mutation, mutation)
+                if ours and on_committing is not None:
+                    on_committing()
                 yield from self._commit(replicas, needed, target, stale_mutation)
-                if self._same_mutation(stale_mutation, mutation):
+                if ours:
                     return CasResult(applied=True)
             return None
 
@@ -471,7 +492,11 @@ class StoreCoordinator:
         if not accepted:
             return None
 
-        # Round 4: commit/apply.
+        # Round 4: commit/apply.  The outcome is decided once a quorum
+        # accepted the proposal, so advisory hooks fire here, overlapping
+        # the commit round's WAN acks.
+        if on_committing is not None:
+            on_committing()
         yield from self._commit(replicas, needed, target, mutation)
         return CasResult(applied=True, current=current)
 

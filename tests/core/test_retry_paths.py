@@ -1,0 +1,218 @@
+"""Regression tests for the client retry-path bugfixes.
+
+Two seed bugs are pinned here:
+
+1. ``MusicClient._with_failover`` (and the remote ``_invoke``) used to
+   *burn a retry attempt* on every known-failed replica it skipped, so
+   with two of three replicas crashed most of the ``op_retry_limit``
+   budget was spent on ``continue`` instead of real attempts — and with
+   every replica failed the loop spun dry before failing.  Now each
+   attempt lands on a live replica and the all-failed case raises
+   immediately.
+
+2. ``acquire_lock_blocking`` slept its full backoff interval past the
+   caller's deadline (up to ``acquire_poll_max_ms`` of overshoot) and
+   then polled one extra time.  Now the sleep is clamped to the
+   remaining deadline and the deadline is re-checked before the next
+   quorum attempt.
+"""
+
+import pytest
+
+from repro.core import RemoteMusicClient, build_music, install_service
+from repro.errors import QuorumUnavailable
+from repro.net import Node
+
+
+def run(music, generator, limit=1e9):
+    return music.sim.run_until_complete(music.sim.process(generator), limit=limit)
+
+
+# -- library client: _with_failover attempt accounting -----------------------
+
+
+def test_failover_attempts_all_land_on_the_live_replica():
+    """With two replicas pre-failed, every one of the op_retry_limit
+    attempts must still contact the remaining live replica (the seed
+    bug burned attempts skipping the failed ones)."""
+    music = build_music()
+    client = music.client("Ohio")
+    music.replica_at("Ohio").crash()
+    music.replica_at("Oregon").crash()
+    music.config.op_retry_delay_ms = 1.0
+    calls = []
+
+    def nacking_op(replica):
+        calls.append(replica.site)
+        raise QuorumUnavailable("synthetic nack")
+        yield  # pragma: no cover - makes this a generator function
+
+    def task():
+        try:
+            yield from client._with_failover("op", nacking_op)
+        except QuorumUnavailable:
+            return "nacked"
+        return "ok"
+
+    assert run(music, task()) == "nacked"
+    assert len(calls) == music.config.op_retry_limit
+    assert set(calls) == {"N.California"}
+
+
+def test_failover_raises_immediately_when_every_replica_is_failed():
+    music = build_music()
+    for replica in music.replicas:
+        replica.crash()
+    client = music.client("Ohio")
+    started = music.sim.now
+
+    def task():
+        try:
+            yield from client.get("k")
+        except QuorumUnavailable as error:
+            return str(error)
+        return None
+
+    message = run(music, task())
+    assert message is not None and "every replica is failed" in message
+    # No retry sleeps: the failure is synchronous, not op_retry_limit
+    # rounds of backoff against nothing.
+    assert music.sim.now == started
+
+
+def test_failover_happy_path_uses_one_attempt():
+    music = build_music()
+    client = music.client("Ohio")
+    calls = []
+
+    def op(replica):
+        calls.append(replica.site)
+        return "value"
+        yield  # pragma: no cover
+
+    def task():
+        result = yield from client._with_failover("op", op)
+        return result
+
+    assert run(music, task()) == "value"
+    assert calls == ["Ohio"]  # home replica first, exactly once
+
+
+# -- library client: blocking-acquire deadline ------------------------------
+
+
+@pytest.mark.parametrize("timeout_ms", [400.0, 1_000.0, 2_500.0])
+def test_acquire_blocking_respects_its_deadline(timeout_ms):
+    """A contended acquire with a timeout returns False within
+    timeout_ms + one poll round trip — the seed bug overshot by up to a
+    full backed-off poll interval (500 ms)."""
+    music = build_music()
+    client_a = music.client("Ohio")
+    client_b = music.client("Oregon")
+
+    def task():
+        cs = yield from client_a.critical_section("k")
+        ref_b = yield from client_b.create_lock_ref("k")
+        started = music.sim.now
+        granted = yield from client_b.acquire_lock_blocking(
+            "k", ref_b, timeout_ms=timeout_ms
+        )
+        waited = music.sim.now - started
+        yield from cs.exit()
+        yield from client_b.release_lock("k", ref_b)
+        return granted, waited
+
+    granted, waited = run(music, task())
+    assert granted is False
+    # The last sleep is clamped to the deadline and no further quorum
+    # attempt follows it, so the only permissible overshoot is zero.
+    assert waited <= timeout_ms + 1e-9, waited
+
+
+def test_acquire_blocking_deadline_holds_with_push_grants():
+    """Same contract with the push-grant wait path active."""
+    music = build_music(fast_locks=True)
+    client_a = music.client("Ohio")
+    client_b = music.client("Oregon")
+
+    def task():
+        cs = yield from client_a.critical_section("k")
+        ref_b = yield from client_b.create_lock_ref("k")
+        started = music.sim.now
+        granted = yield from client_b.acquire_lock_blocking(
+            "k", ref_b, timeout_ms=800.0
+        )
+        waited = music.sim.now - started
+        yield from cs.exit()
+        yield from client_b.release_lock("k", ref_b)
+        return granted, waited
+
+    granted, waited = run(music, task())
+    assert granted is False
+    assert waited <= 800.0 + 1e-9, waited
+
+
+# -- remote client: the same accounting over RPC ----------------------------
+
+
+def _remote_setup(**kwargs):
+    music = build_music(**kwargs)
+    for replica in music.replicas:
+        install_service(replica)
+    host = Node(music.sim, music.network, "app-host", "Ohio")
+    host.start()
+    client = RemoteMusicClient(host, music.replicas, streams=music.streams)
+    return music, client
+
+
+def test_remote_invoke_skips_failed_replicas_without_burning_attempts():
+    music, client = _remote_setup()
+    music.replica_at("Ohio").crash()
+    music.replica_at("Oregon").crash()
+
+    def task():
+        # The one live replica still serves the op on the first attempt.
+        yield from client.put("k", "v")
+        value = yield from client.get("k")
+        return value
+
+    assert run(music, task()) == "v"
+
+
+def test_remote_invoke_raises_immediately_when_all_replicas_failed():
+    music, client = _remote_setup()
+    for replica in music.replicas:
+        replica.crash()
+    started = music.sim.now
+
+    def task():
+        try:
+            yield from client.get("k")
+        except QuorumUnavailable as error:
+            return str(error)
+        return None
+
+    message = run(music, task())
+    assert message is not None and "every replica is failed" in message
+    assert music.sim.now == started
+
+
+def test_remote_acquire_blocking_respects_its_deadline():
+    music, client = _remote_setup()
+    library_holder = music.client("Ohio")
+
+    def task():
+        cs = yield from library_holder.critical_section("k")
+        ref = yield from client.create_lock_ref("k")
+        started = music.sim.now
+        granted = yield from client.acquire_lock_blocking("k", ref, timeout_ms=900.0)
+        waited = music.sim.now - started
+        yield from cs.exit()
+        yield from client.release_lock("k", ref)
+        return granted, waited
+
+    granted, waited = run(music, task())
+    assert granted is False
+    # Remote polls pay an RPC round trip after the clamped sleep wakes;
+    # the final deadline re-check bounds the overshoot to that one hop.
+    assert waited <= 900.0 + 10.0, waited

@@ -23,7 +23,7 @@ from repro.obs import replay_audit, write_audit_jsonl
 ARTIFACT_DIR = os.environ.get("REPRO_AUDIT_ARTIFACT_DIR")
 
 
-def _audited_fault_run(seed=77):
+def _audited_fault_run(seed=77, **build_kw):
     """Partitions + a crash + false detection over contended keys."""
     config = MusicConfig(
         failure_detection_enabled=True,
@@ -31,7 +31,7 @@ def _audited_fault_run(seed=77):
         lease_timeout_ms=3_000.0,
         orphan_timeout_ms=3_000.0,
     )
-    music = build_music(music_config=config, seed=seed, audit=True)
+    music = build_music(music_config=config, seed=seed, audit=True, **build_kw)
     faults = FaultSchedule(music.sim, music.network)
     # The isolation window preempts the stalled Ohio lockholder (false
     # failure detection); a flapping WAN link and a store-node crash/
@@ -96,9 +96,12 @@ def _audited_fault_run(seed=77):
     music.sim.run(until=music.sim.now + 10_000.0)
     if ARTIFACT_DIR:
         os.makedirs(ARTIFACT_DIR, exist_ok=True)
+        suffix = "_fastlocks" if build_kw.get("fast_locks") else ""
         write_audit_jsonl(
             music.auditor,
-            os.path.join(ARTIFACT_DIR, f"audited_fault_run_seed{seed}.jsonl"),
+            os.path.join(
+                ARTIFACT_DIR, f"audited_fault_run_seed{seed}{suffix}.jsonl"
+            ),
         )
     return music, applied
 
@@ -112,6 +115,21 @@ def test_seeded_fault_run_audits_clean():
     assert "fault" in kinds
     assert "forced_release" in kinds
     assert "sync" in kinds  # the takeover had to synchronize
+    assert auditor.clean, auditor.render_report()
+    auditor.assert_clean()
+
+
+def test_seeded_fault_run_audits_clean_with_fast_locks():
+    """The same fault gauntlet with the DESIGN §9 contention hot path on
+    (LWT group commit + synchFlag fast path + push grants) must stay
+    just as clean: the optimizations change latencies, not safety."""
+    music, applied = _audited_fault_run(fast_locks=True)
+    assert len(applied) == 9
+    auditor = music.auditor
+    kinds = {event.kind for event in auditor.events}
+    assert "fault" in kinds
+    assert "forced_release" in kinds
+    assert "sync" in kinds  # forced preemption still forces the sync
     assert auditor.clean, auditor.render_report()
     auditor.assert_clean()
 

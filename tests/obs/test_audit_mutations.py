@@ -9,7 +9,9 @@ violation naming the invariant and carrying the guilty trace spans.
 """
 
 from repro import MusicConfig, build_music
-from repro.core.replica import MusicReplica
+from repro.core.replica import VALUE_ROW, MusicReplica
+from repro.lockstore import LockStore
+from repro.store import Consistency
 from tests.helpers import run
 
 
@@ -136,6 +138,122 @@ def test_bypassed_queue_head_guard_is_caught():
     violation = assert_caught(music.auditor, "Exclusivity")
     assert "never granted" in violation.detail
     assert violation.lock_ref == 99
+
+
+def _batched_mint_scenario():
+    """Five concurrent mints in batch mode (one direct under the busy
+    token, four riding the flush) followed by one more mint against
+    whatever guard value the flush left behind."""
+    config = MusicConfig(lwt_batch_enabled=True)
+    music = build_music(music_config=config, audit=True)
+    sim = music.sim
+    client = music.client("Ohio")
+    refs = []
+
+    def mint():
+        ref = yield from client.create_lock_ref("hot")
+        refs.append(ref)
+
+    procs = [sim.process(mint()) for _ in range(5)]
+    for proc in procs:
+        sim.run_until_complete(proc, limit=1e9)
+    run(sim, mint())
+    return music, refs
+
+
+def test_batched_mint_run_is_clean():
+    """Baseline for the atomicity mutant: with the real guard target the
+    same contended-mint scenario yields distinct sequential refs and a
+    clean audit."""
+    music, refs = _batched_mint_scenario()
+    assert music.auditor.clean, music.auditor.render_report()
+    assert sorted(refs) == [1, 2, 3, 4, 5, 6]
+
+
+def test_non_atomic_batch_mint_is_caught():
+    """A batch flush that hands out n refs but advances the guard by
+    less than n breaks the all-or-nothing LWT contract: the next mint
+    re-reads the stale guard and re-mints a ref the batch already handed
+    out.  The auditor must flag the duplicate as a FIFO violation."""
+    original = LockStore.__dict__["_batch_guard_target"]
+    LockStore._batch_guard_target = staticmethod(
+        lambda base, enqueues: base + min(enqueues, 1)
+    )
+    try:
+        music, refs = _batched_mint_scenario()
+    finally:
+        LockStore._batch_guard_target = original
+    assert len(refs) != len(set(refs))  # the duplicate mint happened...
+    violation = assert_caught(music.auditor, "LockQueueFIFO")
+    assert "minted after" in violation.detail  # ...and was flagged
+
+
+def _fast_path_scenario(replica_class=MusicReplica):
+    """A stalled holder whose last store write the auditor never saw,
+    then a forcedRelease: the next grant's synchronization is the only
+    thing standing between the new holder and the unsynchronized store."""
+    config = MusicConfig(synch_fast_path=True)
+    music = build_music(
+        music_config=config, audit=True, replica_class=replica_class
+    )
+    client = music.client("Ohio")
+    replica = music.replica_at("Ohio")
+
+    def scenario():
+        cs = yield from client.critical_section("k")
+        yield from cs.put("A")
+        yield from cs.exit()
+        # The second holder takes the lock and stalls mid-section...
+        ref2 = yield from client.create_lock_ref("k")
+        granted = yield from client.acquire_lock_blocking("k", ref2)
+        assert granted
+        # ...after a store write the client-side audit obligation never
+        # recorded (the holder died between the quorum write and the
+        # ack): the store diverges from the auditor's true value.
+        yield from replica.coordinator.put(
+            replica.data_table, "k", VALUE_ROW, {"value": "DIVERGED"},
+            replica._stamp(ref2, 1.0), consistency=Consistency.QUORUM,
+        )
+        # The detector path preempts the stalled holder (quorum flag
+        # write, then dequeue) — this is what invalidates the epoch.
+        yield from replica.forced_release("k", ref2)
+        # The next holder must re-synchronize before reading.
+        ref3 = yield from client.create_lock_ref("k")
+        granted = yield from client.acquire_lock_blocking("k", ref3)
+        assert granted
+        yield from client.critical_get("k", ref3)
+        yield from client.release_lock("k", ref3)
+
+    run(music.sim, scenario())
+    return music
+
+
+def test_fast_path_scenario_is_clean_without_mutant():
+    """Baseline: the real epoch check sees the forcedRelease marker,
+    misses the fast path, reads flag=True and synchronizes — the
+    post-preemption read audits clean."""
+    music = _fast_path_scenario()
+    assert music.auditor.clean, music.auditor.render_report()
+    # The scenario exercised the machinery it claims to: a forced
+    # release happened and the next grant took the slow path + sync.
+    kinds = {event.kind for event in music.auditor.events}
+    assert "forced_release" in kinds
+    assert "sync" in kinds
+
+
+def test_broken_fast_path_epoch_check_is_caught():
+    """A fast path that ignores the forced-release epoch skips the
+    grant-time flag read *and* the synchronization, so the new holder
+    reads whatever the preempted holder left behind — the auditor must
+    flag the stale read against the true value."""
+
+    class AlwaysFastReplica(MusicReplica):
+        def _fast_path_valid(self, key, epoch):
+            return True  # "the cache is always valid"
+
+    music = _fast_path_scenario(replica_class=AlwaysFastReplica)
+    violation = assert_caught(music.auditor, "LatestState")
+    assert "DIVERGED" in violation.detail
 
 
 def test_mutant_violations_render_with_span_trees():
