@@ -113,6 +113,12 @@ def _params() -> Dict[str, Any]:
         # one hot key — at both scales; full just runs more rounds.
         "contention_clients": 16,
         "contention_rounds": 3,
+        # Read scale-out axis: one long-lived owner per key (portal
+        # style), read-heavy mix, 9 store nodes (3 sites x 3).
+        "leases_workers": 9,
+        "leases_think_ms": 2.0,
+        "leases_warmup_ms": 1_000.0,
+        "leases_window_ms": 4_000.0,
     }
     if scale_name() != "full":
         return quick
@@ -142,6 +148,8 @@ def _params() -> Dict[str, Any]:
             "ycsb_window_ms": 25_000.0,
             "ycsb_seeds": [51, 151, 251],
             "contention_rounds": 8,
+            "leases_workers": 12,
+            "leases_window_ms": 10_000.0,
         }
     )
     return full
@@ -1341,6 +1349,137 @@ def lock_contention() -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+def read_scaleout() -> ExperimentResult:
+    """Read scale-out axis (DESIGN.md §10): leaseholder local reads off
+    vs on, ownership-style workload on 9 store nodes.
+
+    One long-lived lockholder per key (the portal ownership pattern)
+    runs a YCSB-B read-heavy mix inside its critical section; reads go
+    through ``critical_get`` so the baseline pays a WAN quorum round per
+    read while the lease tier serves from the local mirror inside the
+    audited ECF window.  Both modes run with the runtime auditor
+    attached.  Writes ``benchmarks/results/BENCH_leases.json``.
+    """
+    import json
+    import pathlib
+
+    from ..workloads import READ_HEAVY_YCSB_WORKLOADS
+
+    p = _params()
+    n_workers = p["leases_workers"]
+    think_ms = p["leases_think_ms"]
+    warmup_ms = p["leases_warmup_ms"]
+    window_ms = p["leases_window_ms"]
+    end_ms = warmup_ms + window_ms
+    mix = next(w for w in READ_HEAVY_YCSB_WORKLOADS if w.name == "B")
+
+    def measure(leases: bool) -> Dict[str, Any]:
+        deployment = build_music(
+            profile_name="lUs", nodes_per_site=3, seed=808,
+            read_leases=leases, audit=True,
+        )
+        sim = deployment.sim
+        sites = deployment.profile.site_names
+        read_lat: List[float] = []
+        counts = {"reads": 0, "writes": 0}
+
+        def worker(index: int):
+            client = deployment.client(sites[index % len(sites)])
+            key = f"owner-{index}"
+            rng = deployment.streams.stream(f"leases-worker-{index}")
+            cs = yield from client.critical_section(key, timeout_ms=1e9)
+            seq = 0
+            yield from cs.put({"seq": seq})
+            while sim.now < end_ms:
+                if rng.random() < mix.read_fraction:
+                    started = sim.now
+                    yield from cs.get()
+                    if started >= warmup_ms and sim.now <= end_ms:
+                        read_lat.append(sim.now - started)
+                        counts["reads"] += 1
+                else:
+                    seq += 1
+                    started = sim.now
+                    yield from cs.put({"seq": seq})
+                    if started >= warmup_ms and sim.now <= end_ms:
+                        counts["writes"] += 1
+                yield sim.timeout(think_ms)
+            yield from cs.exit()
+
+        procs = [sim.process(worker(index)) for index in range(n_workers)]
+        for proc in procs:
+            sim.run_until_complete(proc, limit=1e10)
+        summary = summarize(read_lat)
+        hits = sum(r.counters["lease_hits"] for r in deployment.replicas)
+        misses = sum(r.counters["lease_misses"] for r in deployment.replicas)
+        local = hits / (hits + misses) if hits + misses else 0.0
+        auditor = deployment.auditor
+        return {
+            "mode": "read-leases-on" if leases else "quorum-baseline",
+            "store_nodes": 3 * len(sites),
+            "reads": counts["reads"],
+            "writes": counts["writes"],
+            "reads_per_sec": round(counts["reads"] / window_ms * 1000.0, 2),
+            "read_p50_ms": round(summary.p50, 4),
+            "read_p99_ms": round(summary.p99, 4),
+            "local_read_hit_rate": round(local, 4),
+            "audit_clean": auditor.clean,
+            "audit_events": len(auditor.events),
+        }
+
+    off = measure(False)
+    on = measure(True)
+    thr_ratio = on["reads_per_sec"] / off["reads_per_sec"] if off["reads_per_sec"] else 0.0
+    checks = [
+        (
+            f"leaseholder reads sustain >= 3x read throughput ({thr_ratio:.2f}x)",
+            thr_ratio >= 3.0,
+        ),
+        (
+            "leaseholder reads cut read p99 by >= 2x "
+            f"({on['read_p99_ms']:.2f} vs {off['read_p99_ms']:.2f} ms)",
+            on["read_p99_ms"] * 2.0 <= off["read_p99_ms"],
+        ),
+        (
+            f"local-read hit rate >= 80% ({on['local_read_hit_rate']:.1%})",
+            on["local_read_hit_rate"] >= 0.80,
+        ),
+        (
+            "ECF audit clean in both modes (incl. LeaseSafety/MonotonicReads)",
+            off["audit_clean"] and on["audit_clean"],
+        ),
+    ]
+    baseline = {
+        "scale": scale_name(),
+        "workers": n_workers,
+        "mix": {"name": mix.name, "read_fraction": mix.read_fraction},
+        "think_ms": think_ms,
+        "window_ms": window_ms,
+        "read_throughput_ratio": round(thr_ratio, 3),
+        "modes": [off, on],
+    }
+    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    try:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / "BENCH_leases.json").write_text(
+            json.dumps(baseline, indent=2) + "\n"
+        )
+    except OSError:
+        pass  # read-only checkout: the result still carries the data
+    text = render_table(
+        f"Read scale-out — {n_workers} owners, YCSB-{mix.name} "
+        f"({mix.read_fraction:.0%} reads), 9 store nodes (lUs)",
+        ["mode", "reads/sec", "p50 (ms)", "p99 (ms)", "local hits", "audit"],
+        [[row["mode"], row["reads_per_sec"], row["read_p50_ms"],
+          row["read_p99_ms"], f"{row['local_read_hit_rate']:.1%}",
+          "clean" if row["audit_clean"] else "VIOLATIONS"]
+         for row in (off, on)],
+    )
+    return ExperimentResult("read_scaleout", "Read scale-out leases", text,
+                            {"baseline": baseline}, checks)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1363,6 +1502,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "storage_durability": storage_durability,
     "elastic_scaling": elastic_scaling,
     "lock_contention": lock_contention,
+    "read_scaleout": read_scaleout,
 }
 
 

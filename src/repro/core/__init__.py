@@ -5,7 +5,7 @@ from .config import MusicConfig
 from .deployment import MusicDeployment, build_music
 from .failure_detector import FailureDetector
 from .hierarchical import HierarchicalClient, LocalSection, SiteLockProxy
-from .multikey import MultiKeyCriticalSection, enter_multi
+from .multikey import MultiKeyCriticalSection, ReadOnlyMultiKeySection, enter_multi
 from .replica import SYNCH_ROW, VALUE_ROW, MusicReplica
 from .service import RemoteMusicClient, install_service
 from .timestamps import MAX_SCALAR, VectorTimestamp, check_overflow, v2s
@@ -17,6 +17,7 @@ __all__ = [
     "LocalSection",
     "MAX_SCALAR",
     "MultiKeyCriticalSection",
+    "ReadOnlyMultiKeySection",
     "MusicClient",
     "MusicConfig",
     "MusicDeployment",

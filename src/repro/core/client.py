@@ -11,7 +11,7 @@ no longer the lockholder.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..errors import (
     LockContention,
@@ -52,6 +52,11 @@ class MusicClient:
         )
         self._rng = (streams or RandomStreams(0)).stream(f"client:{client_id}")
         self.sim = replicas[0].sim
+        # Read-lease session state (only populated when read_leases is
+        # on): per-key monotonic-prefix watermark for bounded reads, and
+        # per-(key, lockRef) critical-write watermark gating lease hits.
+        self._session_reads: Dict[str, Tuple[Any, Any]] = {}
+        self._critical_watermarks: Dict[Tuple[str, int], Tuple[float, str]] = {}
 
     @property
     def replica(self) -> MusicReplica:
@@ -187,13 +192,28 @@ class MusicClient:
                 # Guard said "not first yet": the local lock store lags;
                 # surface as retryable.
                 raise QuorumUnavailable("local lock store behind; retry")
+            if self.config.read_leases:
+                # The replica records the acknowledged stamp right
+                # before returning (no yields in between): remember it
+                # as this session's floor for lease-served reads, so a
+                # failover to a stale-mirror replica cannot serve a
+                # value older than our own last write.
+                self._critical_watermarks[(key, lock_ref)] = replica.last_put_stamp
             return True
 
         yield from self._with_failover("criticalPut", attempt)
 
     def critical_get(self, key: str, lock_ref: int) -> Generator[Any, Any, Any]:
+        min_stamp = (
+            self._critical_watermarks.get((key, lock_ref))
+            if self.config.read_leases
+            else None
+        )
+
         def attempt(replica) -> Generator[Any, Any, Any]:
-            ok, value = yield from replica.critical_get(key, lock_ref)
+            ok, value = yield from replica.critical_get(
+                key, lock_ref, min_stamp=min_stamp
+            )
             if not ok:
                 raise QuorumUnavailable("local lock store behind; retry")
             return value
@@ -202,6 +222,8 @@ class MusicClient:
         return value
 
     def release_lock(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
+        if self.config.read_leases:
+            self._critical_watermarks.pop((key, lock_ref), None)
         try:
             done = yield from self._with_failover(
                 "releaseLock", lambda replica: replica.release_lock(key, lock_ref)
@@ -213,9 +235,44 @@ class MusicClient:
     def put(self, key: str, value: Any) -> Generator[Any, Any, None]:
         yield from self._with_failover("put", lambda replica: replica.put(key, value))
 
-    def get(self, key: str) -> Generator[Any, Any, Any]:
-        value = yield from self._with_failover("get", lambda replica: replica.get(key))
-        return value
+    def get(
+        self, key: str, staleness_ms: Optional[float] = None
+    ) -> Generator[Any, Any, Any]:
+        """Eventual read; with ``read_leases`` on and a ``staleness_ms``
+        bound, served from the replica read cache under monotonic-prefix
+        session semantics (a later read never observes an older stamp
+        than an earlier read of the same key by this client)."""
+        if staleness_ms is None or not self.config.read_leases:
+            value = yield from self._with_failover(
+                "get", lambda replica: replica.get(key)
+            )
+            return value
+        read = yield from self._with_failover(
+            "getBounded", lambda replica: replica.get_bounded(key, staleness_ms)
+        )
+        session = False
+        last = self._session_reads.get(key)
+        if last is not None and read.stamp is not None and last[0] is not None \
+                and read.stamp < last[0]:
+            # The cache (e.g. after failover to a colder replica) went
+            # backwards relative to this session: serve the remembered
+            # value instead and leave the watermark alone.
+            session = True
+        else:
+            self._session_reads[key] = (read.stamp, read.value)
+        audit = self.replicas[0].obs.audit
+        if audit.enabled:
+            watermark = self._session_reads[key]
+            audit.emit(
+                "cached_read", key=key, node=read.node,
+                stamp=(read.stamp if not session else watermark[0]),
+                client=self.client_id,
+                fetched_ms=(None if session else read.fetched_ms),
+                bound_ms=staleness_ms, hit=read.hit, session=session,
+            )
+        if session:
+            return self._session_reads[key][1]
+        return read.value
 
     def get_all_keys(self) -> Generator[Any, Any, list]:
         keys = yield from self._with_failover(

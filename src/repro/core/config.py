@@ -77,3 +77,24 @@ class MusicConfig:
     push_grants: bool = False
     # Remote long-poll ceiling for push-mode RemoteMusicClient waits.
     push_wait_ms: float = 2_000.0
+
+    # Read scale-out leases (DESIGN.md §10).  Default off with
+    # bit-identical timings; ``build_music(read_leases=True)`` flips
+    # ``read_leases`` together with ``push_grants`` (the cache
+    # invalidation stream rides the push-grant channel).
+    #
+    # Leaseholder local reads: the current lockholder's replica serves
+    # critical_get from a local mirror while its lease — anchored at the
+    # start of the last quorum read that observed no revocation — is
+    # provably inside the ECF window.
+    read_leases: bool = False
+    # Local-read window per lease anchor.  forcedRelease waits this plus
+    # 2x the skew bound after its quorum flag write acks and before the
+    # dequeue, so every window anchored before the revocation became
+    # quorum-visible has expired by the time the next holder can enter.
+    read_lease_ms: float = 400.0
+    # Margin absorbing local-clock drift over one lease window (clock
+    # offsets cancel out of durations; drift does not).
+    lease_clock_skew_bound_ms: float = 5.0
+    # Per-replica bounded-staleness read cache: max cached keys.
+    read_cache_capacity: int = 1024

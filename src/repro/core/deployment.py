@@ -92,6 +92,7 @@ def build_music(
     elastic: bool = False,
     topo_config=None,
     fast_locks: Optional[bool] = None,
+    read_leases: Optional[bool] = None,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
@@ -122,6 +123,13 @@ def build_music(
     DESIGN.md §9 together (LWT group commit, synchFlag fast path, push
     grants) on the resolved ``MusicConfig``; the default leaves them off
     with bit-identical timings.
+
+    ``read_leases=True`` enables the read scale-out tier of DESIGN.md
+    §10 — leaseholder local critical reads audited against the ECF
+    window, plus the bounded-staleness ``client.get(key, staleness_ms=…)``
+    cache — together with ``push_grants`` (the invalidation channel).
+    The default leaves the tier entirely unbuilt with bit-identical
+    timings.
     """
     profile = PAPER_PROFILES[profile_name]
     sim = sim or Simulator()
@@ -150,6 +158,10 @@ def build_music(
     if fast_locks:
         music_config.lwt_batch_enabled = True
         music_config.synch_fast_path = True
+        music_config.push_grants = True
+    if read_leases:
+        music_config.read_leases = True
+        # Push grants double as the lease/cache invalidation channel.
         music_config.push_grants = True
 
     auditor = None

@@ -21,7 +21,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence
 from ..errors import NotLockHolder, ReproError
 from .client import MusicClient
 
-__all__ = ["MultiKeyCriticalSection", "enter_multi"]
+__all__ = ["MultiKeyCriticalSection", "ReadOnlyMultiKeySection", "enter_multi"]
 
 
 class MultiKeyCriticalSection:
@@ -65,11 +65,67 @@ class MultiKeyCriticalSection:
         return self.lock_refs[key]
 
 
+class ReadOnlyMultiKeySection(MultiKeyCriticalSection):
+    """A read-only multi-key section (``enter_multi(..., read_only=True)``).
+
+    Because it never writes, losing one lock to a preemption does not
+    poison the section the way it poisons a writer: the whole point of
+    holding the locks is to pin each key's value, and a lost key can be
+    re-pinned by re-minting and re-acquiring *just that key* and
+    re-reading — the other held keys stay locked throughout, so the
+    combined view is still a moment-in-time snapshot (every value was
+    read under a held lock, all locks overlapping).  With ``read_leases``
+    on, the reads themselves are leaseholder local reads, so a wide
+    read-only snapshot costs one lock round per key and near-zero per
+    read — the read-scale-out fast path.
+    """
+
+    def __init__(
+        self,
+        client: MusicClient,
+        lock_refs: Dict[str, int],
+        reacquire_timeout_ms: float = 5_000.0,
+    ) -> None:
+        super().__init__(client, lock_refs)
+        self.reacquire_timeout_ms = reacquire_timeout_ms
+        self.counters = {"reacquires": 0}
+
+    def get(self, key: str) -> Generator[Any, Any, Any]:
+        ref = self._ref(key)
+        try:
+            value = yield from self.client.critical_get(key, ref)
+            return value
+        except NotLockHolder:
+            # Preempted on this key only: re-pin it and retry the read.
+            self.counters["reacquires"] += 1
+            lock_ref = yield from self.client.create_lock_ref(key)
+            granted = yield from self.client.acquire_lock_blocking(
+                key, lock_ref, timeout_ms=self.reacquire_timeout_ms
+            )
+            if not granted:
+                yield from self.client.release_lock(key, lock_ref)
+                raise ReproError(
+                    f"read-only section lost {key!r} and timed out "
+                    "re-acquiring it"
+                )
+            self.lock_refs[key] = lock_ref
+            value = yield from self.client.critical_get(key, lock_ref)
+            return value
+
+    def put(self, key: str, value: Any) -> Generator[Any, Any, None]:
+        raise ReproError(
+            "read-only multi-key section: puts are not allowed (its "
+            "preemption recovery would not be safe for a writer)"
+        )
+        yield  # pragma: no cover - keeps this a generator like the base
+
+
 def enter_multi(
     client: MusicClient,
     keys: Sequence[str],
     timeout_ms: Optional[float] = None,
     max_attempts: int = 10,
+    read_only: bool = False,
 ) -> Generator[Any, Any, MultiKeyCriticalSection]:
     """Acquire locks on all ``keys`` in lexicographic order.
 
@@ -77,6 +133,10 @@ def enter_multi(
     we wait for a later one), every held lock is released and the whole
     acquisition restarts with fresh lockRefs.  Raises after
     ``max_attempts`` restarts or when ``timeout_ms`` elapses.
+
+    ``read_only=True`` returns a :class:`ReadOnlyMultiKeySection`
+    instead: puts are rejected and a key lost to preemption is re-pinned
+    in place rather than aborting the section.
     """
     if not keys:
         raise ValueError("a multi-key critical section needs at least one key")
@@ -113,6 +173,8 @@ def enter_multi(
                 aborted = True
                 break
         if not aborted:
+            if read_only:
+                return ReadOnlyMultiKeySection(client, held)
             return MultiKeyCriticalSection(client, held)
         yield from _release_all(client, held)
         yield client.sim.timeout(client.config.acquire_poll_interval_ms)

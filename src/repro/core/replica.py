@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from ..errors import LeaseExpired, NotLockHolder
+from ..leases import CachedRead, LeaseManager, ReadCache
 from ..lockstore import LockStore
 from ..net import Network, Node
 from ..sim import NodeClock, Simulator
@@ -86,9 +87,32 @@ class MusicReplica(Node):
                 else None
             ),
             batch_max_ops=self.config.lwt_batch_max_ops,
+            lease_rows=self.config.read_leases,
         )
         # Lease starts cached per (key, lockRef) once granted here.
         self._leases: Dict[Tuple[str, int], float] = {}
+        # Read scale-out leases (DESIGN.md §10): both tiers are built
+        # only when the feature is on, so the default path never holds
+        # (or checks) lease state beyond a None test.
+        if self.config.read_leases:
+            self.lease_manager: Optional[LeaseManager] = LeaseManager(
+                read_lease_ms=self.config.read_lease_ms,
+                skew_bound_ms=self.config.lease_clock_skew_bound_ms,
+                period_ms=self.config.period_ms,
+                delta=self.config.delta,
+            )
+            self.read_cache: Optional[ReadCache] = ReadCache(
+                self.config.read_cache_capacity
+            )
+        else:
+            self.lease_manager = None
+            self.read_cache = None
+        # Stamp of the last acknowledged critical write through this
+        # replica (the client-side session watermark for lease serves).
+        self.last_put_stamp: Optional[Tuple[float, str]] = None
+        # Service-layer cache invalidation hooks, called with the key on
+        # every observed release push (see PortalFrontend).
+        self._release_listeners: list = []
         # synchFlag fast path (DESIGN.md §9): per-key forced-release
         # epoch under which this replica last established flag=False at
         # quorum.  Key absent = no fast-path evidence.
@@ -100,7 +124,15 @@ class MusicReplica(Node):
         self.on("music.grantPush", self._on_grant_push)
         # Optional instrumentation: called as recorder(op_name, elapsed_ms).
         self.op_recorder: Optional[Callable[[str, float], None]] = None
-        self.counters = {"forced_releases": 0, "syncs": 0}
+        self.counters = {
+            "forced_releases": 0,
+            "syncs": 0,
+            "lease_hits": 0,
+            "lease_misses": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_invalidations": 0,
+        }
         self._op_histograms: Dict[str, Any] = {}
 
     # -- helpers ------------------------------------------------------------
@@ -168,6 +200,8 @@ class MusicReplica(Node):
             grant_started = self.sim.now
             fast = fast_capable and self._fast_path_valid(key, epoch)
             flag = False
+            anchor_clock = None
+            flag_stamp = None
             with self.obs.tracer.span(
                 "music.grant", node=self.node_id, site=self.site, key=key
             ) as grant_span:
@@ -182,6 +216,10 @@ class MusicReplica(Node):
                         "music.fastpath.hits", node=self.node_id
                     ).inc()
                 else:
+                    if self.config.read_leases:
+                        # A read lease anchors at the local-clock time
+                        # this quorum flag read *started* (DESIGN.md §10).
+                        anchor_clock = self.clock.now()
                     flag_rows = yield from self.coordinator.get(
                         self.data_table, key, clustering=SYNCH_ROW,
                         consistency=Consistency.QUORUM,
@@ -190,6 +228,8 @@ class MusicReplica(Node):
                         flag = bool(
                             flag_rows[SYNCH_ROW].visible_values().get("flag", False)
                         )
+                        if self.config.read_leases:
+                            flag_stamp = flag_rows[SYNCH_ROW].cell_stamp("flag")
                     audit = self.obs.audit
                     if audit.enabled:
                         audit.emit(
@@ -210,6 +250,12 @@ class MusicReplica(Node):
                 start_time = self.clock.now()
                 yield from self.lock_store.set_start_time(key, lock_ref, start_time)
             self._leases[(key, lock_ref)] = start_time
+            if (
+                self.config.read_leases
+                and anchor_clock is not None
+                and self.lease_manager.anchor_allowed(lock_ref, flag_stamp)
+            ):
+                self.lease_manager.anchor(key, lock_ref, anchor_clock)
             span.set(granted=True)
             audit = self.obs.audit
             if audit.enabled:
@@ -295,6 +341,9 @@ class MusicReplica(Node):
                     lock_ref=lock_ref, stamp=self._stamp(lock_ref, offset),
                     value=value,
                 )
+            if self.config.read_leases:
+                self._write_through(key, lock_ref, value,
+                                    self._stamp(lock_ref, offset))
         self._record("criticalPut", started)
         return True
 
@@ -321,21 +370,49 @@ class MusicReplica(Node):
                     lock_ref=lock_ref, stamp=self._stamp(lock_ref, offset),
                     value=None,
                 )
+            if self.config.read_leases:
+                self._write_through(key, lock_ref, None,
+                                    self._stamp(lock_ref, offset))
         self._record("criticalDelete", started)
         return True
 
+    def _write_through(self, key: str, lock_ref: int, value: Any,
+                       stamp: Tuple[float, str]) -> None:
+        """Mirror an acknowledged critical write into the lease view and
+        the bounded-staleness cache, and expose its stamp as the
+        client-side session watermark."""
+        self.lease_manager.fill(key, lock_ref, value, stamp)
+        self.read_cache.fill(key, value, stamp, self.sim.now)
+        self.last_put_stamp = stamp
+
     # -- criticalGet (cost: value quorum read) -----------------------------------
 
-    def critical_get(self, key: str, lock_ref: int) -> Generator[Any, Any, Tuple[bool, Any]]:
+    def critical_get(
+        self, key: str, lock_ref: int,
+        min_stamp: Optional[Tuple[float, str]] = None,
+    ) -> Generator[Any, Any, Tuple[bool, Any]]:
         """Read the latest (true) value of ``key`` as the lockholder.
 
         Returns ``(True, value)`` on success, ``(False, None)`` when the
         caller should retry (local queue not caught up yet).
+
+        With ``read_leases`` on, the read is served from the local lease
+        mirror while the holder's lease window is provably inside the
+        ECF window; ``min_stamp`` is the client's session watermark (the
+        stamp of its last acknowledged critical write to this key) — a
+        lease serve must be at least that fresh, so a failover to a
+        replica with a stale mirror falls through to the quorum.
         """
         started = self.sim.now
         with self.obs.tracer.span(
             "music.criticalGet", node=self.node_id, site=self.site, key=key
         ) as span:
+            if self.config.read_leases:
+                result = yield from self._leased_critical_get(
+                    key, lock_ref, min_stamp, span
+                )
+                self._record("criticalGet", started)
+                return result
             proceed = yield from self._guard(key, lock_ref)
             if not proceed:
                 span.set(guarded=True)
@@ -354,6 +431,81 @@ class MusicReplica(Node):
                 )
         self._record("criticalGet", started)
         return (True, value)
+
+    def _leased_critical_get(
+        self, key: str, lock_ref: int,
+        min_stamp: Optional[Tuple[float, str]], span: Any,
+    ) -> Generator[Any, Any, Tuple[bool, Any]]:
+        """criticalGet with the leaseholder local-read tier in front.
+
+        The guard peek doubles as the revocation check: it reads the
+        key's lock partition (same local RPC as ``_peek``) and also
+        returns the lease-revocation marker the forcedRelease LWT wrote,
+        so a revoked lease can never satisfy the serve below.
+        """
+        entry, revoked = yield from self.lock_store.peek_with_lease(key)
+        if revoked is not None:
+            self.lease_manager.revoke_up_to(key, revoked)
+        if entry is None or lock_ref > entry.lock_ref:
+            span.set(guarded=True)
+            return (False, None)
+        if lock_ref < entry.lock_ref:
+            raise NotLockHolder(
+                f"lockRef {lock_ref} on {key!r} was forcibly released"
+            )
+        view = self.lease_manager.view(key, lock_ref)
+        if self._lease_serviceable(view, min_stamp):
+            self.counters["lease_hits"] += 1
+            self.obs.metrics.counter("music.lease.hits", node=self.node_id).inc()
+            audit = self.obs.audit
+            if audit.enabled:
+                audit.emit(
+                    "lease_read", key=key, node=self.node_id,
+                    lock_ref=lock_ref, stamp=view.value_stamp, value=view.value,
+                )
+            span.set(lease=True)
+            return (True, view.value)
+        self.counters["lease_misses"] += 1
+        self.obs.metrics.counter("music.lease.misses", node=self.node_id).inc()
+        # Quorum read-through of the whole partition: the value row
+        # serves the read and the synchFlag row is the revocation
+        # evidence that lets the same round re-anchor the lease.
+        anchor_clock = self.clock.now()
+        rows = yield from self.coordinator.get(
+            self.data_table, key, consistency=Consistency.QUORUM
+        )
+        value = None
+        value_stamp = None
+        if VALUE_ROW in rows:
+            value = rows[VALUE_ROW].visible_values().get("value")
+            value_stamp = rows[VALUE_ROW].cell_stamp("value")
+        flag_stamp = None
+        if SYNCH_ROW in rows:
+            flag_stamp = rows[SYNCH_ROW].cell_stamp("flag")
+        audit = self.obs.audit
+        if audit.enabled:
+            audit.emit(
+                "critical_get", key=key, node=self.node_id,
+                lock_ref=lock_ref, value=value,
+            )
+        if self.lease_manager.anchor_allowed(lock_ref, flag_stamp):
+            self.lease_manager.anchor(key, lock_ref, anchor_clock)
+            self.lease_manager.fill(key, lock_ref, value, value_stamp)
+        return (True, value)
+
+    def _lease_serviceable(
+        self, view: Any, min_stamp: Optional[Tuple[float, str]]
+    ) -> bool:
+        """Whether a lease view may answer criticalGet locally: it must
+        hold a mirrored value at least as fresh as the caller's session
+        watermark, inside a window that outlasts now plus clock skew."""
+        if view is None or not view.has_value:
+            return False
+        if min_stamp is not None and (
+            view.value_stamp is None or view.value_stamp < min_stamp
+        ):
+            return False
+        return self.lease_manager.window_open(view, self.clock.now())
 
     def _peek(self, key: str) -> Generator[Any, Any, Any]:
         """lsPeek — local by default; quorum under the ablation knob."""
@@ -437,6 +589,8 @@ class MusicReplica(Node):
                 audit.emit(
                     "release", key=key, node=self.node_id, lock_ref=lock_ref
                 )
+        if self.config.read_leases:
+            self.lease_manager.revoke(key)
         self._leases.pop((key, lock_ref), None)
         self._record("releaseLock", started)
         return True
@@ -476,6 +630,21 @@ class MusicReplica(Node):
             # cached flag epochs elsewhere go stale.  Our own cache is
             # dropped regardless: this replica just wrote flag=True.
             self._flag_epoch.pop(key, None)
+            if self.config.read_leases:
+                # ECF-window wait-out (DESIGN.md §10): the flag write
+                # above has acknowledged at quorum, so from here on no
+                # read can anchor a fresh lease for the preempted era
+                # (quorum intersection shows it the revocation stamp).
+                # Sleeping the full window plus the drift margin before
+                # the dequeue guarantees every lease anchored *before*
+                # the ack has expired by the time a successor can be
+                # granted — local lease reads never outlive the ECF
+                # window even under false failure detection.
+                self.lease_manager.revoke(key)
+                yield self.sim.timeout(
+                    self.config.read_lease_ms
+                    + 2.0 * self.config.lease_clock_skew_bound_ms
+                )
             push = self._push_hook(key)
             decided_seen = []
 
@@ -490,7 +659,8 @@ class MusicReplica(Node):
                     push()
 
             yield from self.lock_store.dequeue(
-                key, lock_ref, forced=self.config.synch_fast_path,
+                key, lock_ref,
+                forced=self.config.synch_fast_path or self.config.read_leases,
                 on_committing=decided,
             )
             if not decided_seen and audit.enabled:
@@ -522,7 +692,15 @@ class MusicReplica(Node):
             if not waiters:
                 del self._release_waiters[key]
 
+    def add_release_listener(self, callback: Callable[[str], None]) -> None:
+        """Register a service-layer hook called with the key on every
+        release push this replica observes (e.g. portal owner-cache
+        invalidation)."""
+        self._release_listeners.append(callback)
+
     def _notify_release(self, key: str) -> None:
+        for listener in self._release_listeners:
+            listener(key)
         waiters = self._release_waiters.pop(key, None)
         if not waiters:
             return
@@ -531,16 +709,41 @@ class MusicReplica(Node):
                 event.succeed(True)
 
     def _on_grant_push(self, msg) -> None:
-        self._notify_release(msg.body["key"])
+        key = msg.body["key"]
+        if self.config.read_leases:
+            self._lease_invalidate(key)
+        self._notify_release(key)
 
     def _push_release(self, key: str) -> None:
         """Wake local waiters and nudge sibling replicas (best-effort
         one-way sends: a lost push only means the waiter falls back to
         its poll timer)."""
         self.obs.metrics.counter("music.push.notifies", node=self.node_id).inc()
+        if self.config.read_leases:
+            self._lease_invalidate(key)
         self._notify_release(key)
         for peer in self.peer_ids:
             self.send(peer, "music.grantPush", {"key": key})
+
+    def _lease_invalidate(self, key: str) -> None:
+        """Invalidate lease + cached reads for a key whose critical
+        section just ended (push grant observed).  The audit receipt is
+        emitted *before* the drop, so an implementation that loses the
+        drop still leaves the evidence MonotonicReads checks against."""
+        audit = self.obs.audit
+        if audit.enabled:
+            audit.emit("lease_invalidate", key=key, node=self.node_id)
+        self.lease_manager.revoke(key)
+        self._drop_cached_reads(key)
+
+    def _drop_cached_reads(self, key: str) -> None:
+        # Kept separate from the audit receipt above so mutation tests
+        # can no-op exactly the cache drop.
+        if self.read_cache.invalidate(key):
+            self.counters["cache_invalidations"] += 1
+            self.obs.metrics.counter(
+                "music.cache.invalidations", node=self.node_id
+            ).inc()
 
     # -- unlocked convenience ops (Section VI, "Additional Functions") ---------------
 
@@ -566,6 +769,38 @@ class MusicReplica(Node):
         if VALUE_ROW not in rows:
             return None
         return rows[VALUE_ROW].visible_values().get("value")
+
+    def get_bounded(
+        self, key: str, staleness_ms: float
+    ) -> Generator[Any, Any, CachedRead]:
+        """Bounded-staleness read (``read_leases`` tier, Section VI++).
+
+        A cache hit within the caller's staleness bound is served
+        instantly from this replica's read cache (no store RPC at all);
+        a miss does a nearest-replica read-through and fills the cache.
+        Invalidation piggybacks on push grants (:meth:`_lease_invalidate`),
+        so cached values survive at most the push latency past the
+        critical section that overwrote them — and never the bound.
+        """
+        entry = self.read_cache.lookup(key, self.sim.now, staleness_ms)
+        if entry is not None:
+            self.counters["cache_hits"] += 1
+            self.obs.metrics.counter("music.cache.hits", node=self.node_id).inc()
+            return CachedRead(entry.value, entry.stamp, entry.fetched_ms,
+                              hit=True, node=self.node_id)
+        self.counters["cache_misses"] += 1
+        self.obs.metrics.counter("music.cache.misses", node=self.node_id).inc()
+        rows = yield from self.coordinator.get(
+            self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.ONE
+        )
+        value = None
+        stamp = None
+        if VALUE_ROW in rows:
+            value = rows[VALUE_ROW].visible_values().get("value")
+            stamp = rows[VALUE_ROW].cell_stamp("value")
+        fetched = self.sim.now
+        self.read_cache.fill(key, value, stamp, fetched)
+        return CachedRead(value, stamp, fetched, hit=False, node=self.node_id)
 
     def get_all_keys(self, table: Optional[str] = None) -> Generator[Any, Any, list]:
         """All keys of the data table (eventual; used by job schedulers)."""

@@ -1,0 +1,122 @@
+"""Leaseholder read leases: local critical reads inside the ECF window.
+
+A lease is evidence that this replica's lockholder view is still the
+consensus view.  It is *anchored* at the local-clock time a quorum read
+started when that read (a) intersected the key's synchFlag row and
+(b) observed no revocation stamp at or above the holder's own lockRef —
+i.e. no ``forcedRelease`` of this era had yet acknowledged.  For
+``read_lease_ms`` after the anchor the replica may answer
+``critical_get`` from a local write-through mirror without touching the
+quorum.
+
+Safety rests on quorum intersection plus the forcedRelease wait-out
+(see ``MusicReplica.forced_release``): the preemptor's quorum flag write
+acknowledges *before* it sleeps ``read_lease_ms + 2·skew`` and only then
+dequeues the holder.  Any anchoring read that started after the ack must
+observe the revocation stamp (R+W > N) and refuses to anchor; any read
+that started before the ack anchored a window that expires before the
+dequeue — so no lease window ever overlaps the next holder's grant.
+Clock offsets cancel out of durations on the offset-skew model; the
+``2·skew`` margin absorbs drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["LeaseManager", "LeaseView"]
+
+Stamp = Tuple[float, str]
+
+
+class LeaseView:
+    """One key's lease at one replica: window plus write-through mirror."""
+
+    __slots__ = ("lock_ref", "anchor_ms", "expires_ms", "value", "value_stamp",
+                 "has_value")
+
+    def __init__(self, lock_ref: int) -> None:
+        self.lock_ref = lock_ref
+        self.anchor_ms = float("-inf")
+        self.expires_ms = float("-inf")
+        self.value: Any = None
+        self.value_stamp: Optional[Stamp] = None
+        self.has_value = False
+
+
+class LeaseManager:
+    """Per-replica lease state for leaseholder local reads.
+
+    One lease per key (the holder this replica granted or last anchored
+    for); a new lockRef anchoring the key replaces the old lease whole.
+    """
+
+    def __init__(self, read_lease_ms: float, skew_bound_ms: float,
+                 period_ms: float, delta: float) -> None:
+        self.read_lease_ms = read_lease_ms
+        self.skew_bound_ms = skew_bound_ms
+        self.period_ms = period_ms
+        self.delta = delta
+        self._leases: Dict[str, LeaseView] = {}
+
+    # -- anchoring --------------------------------------------------------
+
+    def anchor_allowed(self, lock_ref: int, flag_stamp: Optional[Stamp]) -> bool:
+        """True when a quorum read that observed ``flag_stamp`` on the
+        synchFlag row proves no revocation of ``lock_ref``'s era has
+        acknowledged: every forcedRelease of this ref or a successor
+        stamps the flag at >= ``(lock_ref + δ)·T``."""
+        if flag_stamp is None:
+            return True
+        return flag_stamp[0] < (lock_ref + self.delta) * self.period_ms
+
+    def anchor(self, key: str, lock_ref: int, anchor_clock_ms: float) -> LeaseView:
+        """(Re-)anchor the key's lease at a read-start local-clock time."""
+        view = self._leases.get(key)
+        if view is None or view.lock_ref != lock_ref:
+            view = self._leases[key] = LeaseView(lock_ref)
+        if anchor_clock_ms > view.anchor_ms:
+            view.anchor_ms = anchor_clock_ms
+            view.expires_ms = anchor_clock_ms + self.read_lease_ms
+        return view
+
+    def fill(self, key: str, lock_ref: int, value: Any,
+             stamp: Optional[Stamp]) -> None:
+        """Write-through: update the holder's local mirror (never extends
+        the window — only anchoring quorum reads do that)."""
+        view = self._leases.get(key)
+        if view is None or view.lock_ref != lock_ref:
+            return
+        if view.value_stamp is None or stamp is None or stamp > view.value_stamp:
+            view.value = value
+            view.value_stamp = stamp
+            view.has_value = True
+
+    # -- serving ----------------------------------------------------------
+
+    def view(self, key: str, lock_ref: int) -> Optional[LeaseView]:
+        view = self._leases.get(key)
+        if view is None or view.lock_ref != lock_ref:
+            return None
+        return view
+
+    def window_open(self, view: LeaseView, now_clock_ms: float) -> bool:
+        """Conservative expiry check: the window must outlast ``now``
+        plus the drift margin for a local serve to be safe."""
+        return now_clock_ms + self.skew_bound_ms < view.expires_ms
+
+    # -- revocation -------------------------------------------------------
+
+    def revoke(self, key: str) -> bool:
+        """Drop the key's lease (forced flag write seen, revocation row
+        observed, push-grant invalidation, or clean release)."""
+        return self._leases.pop(key, None) is not None
+
+    def revoke_up_to(self, key: str, revoked_ref: int) -> bool:
+        """Drop the lease if its holder was revoked (``lock_ref`` at or
+        below the lock store's revocation marker)."""
+        view = self._leases.get(key)
+        if view is not None and view.lock_ref <= revoked_ref:
+            del self._leases[key]
+            return True
+        return False

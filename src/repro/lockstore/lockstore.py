@@ -31,10 +31,18 @@ from ..sim import NodeClock
 from ..store import Condition, Consistency, StoreCoordinator
 from ..store.types import DeleteRow, Update
 
-__all__ = ["FORCED_ROW", "LOCK_TABLE", "LockEntry", "LockStore"]
+__all__ = ["FORCED_ROW", "LEASE_ROW", "LOCK_TABLE", "LockEntry", "LockStore"]
 
 LOCK_TABLE = "music_locks"
 GUARD_ROW = "guard"
+# The read-lease revocation row (DESIGN.md §10): written atomically with
+# a forced dequeue when the lock store runs with ``lease_rows=True``,
+# carrying the highest forcibly-revoked lockRef.  A leaseholder's local
+# guard read returns it from the same partition read, so a revoked
+# holder's lease dies the moment the preemption reaches its replica —
+# fused into the same LWT as the dequeue, there is no window where the
+# queue row is gone but the revocation is invisible.
+LEASE_ROW = "__lease__"
 # The forced-release epoch marker (DESIGN.md §9): written atomically
 # with a *forced* dequeue (same LWT mutation batch), never by a clean
 # release.  Its cell stamp is the per-key forced-release epoch the
@@ -73,10 +81,16 @@ class LockStore:
         max_enqueue_attempts: int = 20,
         batch_window_ms: Optional[float] = None,
         batch_max_ops: int = 4,
+        lease_rows: bool = False,
     ) -> None:
         self.coordinator = coordinator
         self.clock = clock
         self.max_enqueue_attempts = max_enqueue_attempts
+        # Read leases (DESIGN.md §10): forced dequeues also write the
+        # LEASE_ROW revocation marker.  Off by default — the extra
+        # mutation would not change timings, but the schema stays
+        # byte-identical to the seed unless the feature is on.
+        self.lease_rows = lease_rows
         # LWT group commit (DESIGN.md §9): None disables batching and
         # keeps the one-round-per-op seed path bit-identical.  The
         # commit is self-clocking: an op finding the key idle runs the
@@ -237,6 +251,32 @@ class LockStore:
                 epoch = cell.stamp
         return self._first(queue), epoch
 
+    def peek_with_lease(
+        self, key: str
+    ) -> Generator[Any, Any, Tuple[Optional[LockEntry], Optional[int]]]:
+        """Local peek plus the key's lease-revocation marker.
+
+        Returns ``(head entry, revoked_ref)`` where ``revoked_ref`` is
+        the highest lockRef a forced dequeue has revoked as seen by the
+        *local* replica (None if none) — from the same local partition
+        read the peek already performs, so the leaseholder read path's
+        guard costs exactly what the plain guard costs.
+        """
+        with self.obs.tracer.span("lockstore.peek", node=self._writer, key=key):
+            rows = yield from self.coordinator.get(
+                LOCK_TABLE, key, consistency=Consistency.LOCAL_ONE
+            )
+        queue = {
+            clustering: row
+            for clustering, row in rows.items()
+            if isinstance(clustering, int)
+        }
+        revoked = None
+        marker = rows.get(LEASE_ROW)
+        if marker is not None:
+            revoked = marker.visible_values().get("revoked")
+        return self._first(queue), revoked
+
     def peek_quorum(self, key: str) -> Generator[Any, Any, Optional[LockEntry]]:
         """A quorum peek (used by failure detection to avoid acting on
         an arbitrarily stale local view)."""
@@ -305,14 +345,25 @@ class LockStore:
                 "lockstore.dequeue", node=self._writer, key=key, forced=True
             ):
                 stamp = self._stamp()
+                mutations = [
+                    DeleteRow(LOCK_TABLE, key, lock_ref, stamp),
+                    Update(LOCK_TABLE, key, FORCED_ROW, {"ref": lock_ref}, stamp),
+                ]
+                if self.lease_rows:
+                    # Lease revocation fused into the preemption LWT: a
+                    # replica whose local partition still shows the old
+                    # queue row cannot see it without also seeing this.
+                    mutations.append(
+                        Update(
+                            LOCK_TABLE, key, LEASE_ROW,
+                            {"revoked": lock_ref, "by": self._writer}, stamp,
+                        )
+                    )
                 yield from self.coordinator.cas(
                     LOCK_TABLE,
                     key,
                     Condition("exists", clustering=lock_ref),
-                    [
-                        DeleteRow(LOCK_TABLE, key, lock_ref, stamp),
-                        Update(LOCK_TABLE, key, FORCED_ROW, {"ref": lock_ref}, stamp),
-                    ],
+                    mutations,
                     stamp_with_ballot=True,
                     on_committing=on_committing,
                     backoff_scale=self._dequeue_backoff_scale,

@@ -33,7 +33,17 @@ transplanted to the implementation) and checks, online:
 - **SyncRequired** — a grant that saw the synchFlag set must run the
   data-store synchronization before entering the critical section;
 - **LeaseBound** — critical writes carry stamps inside their lockRef's
-  lease window ``[lockRef·T, (lockRef+1)·T)``.
+  lease window ``[lockRef·T, (lockRef+1)·T)``;
+- **LeaseSafety** — a leaseholder *local* read (``read_leases`` tier,
+  DESIGN.md §10) must be served under a granted lockRef whose
+  forcedRelease has not completed — the lease never outlives the ECF
+  window — and, while that ref is the live holder, must observe the
+  true pair;
+- **MonotonicReads** — a bounded-staleness cached read never serves an
+  entry older than its staleness bound, never serves an entry fetched
+  before the node's last delivered push-grant invalidation of the key,
+  and never goes backwards within one client session (monotonic
+  prefix).
 
 Violations are :class:`~repro.verification.invariants.ViolationRecord`
 instances — the same dataclass the model checker produces — carrying
@@ -175,6 +185,7 @@ class _KeyState:
         "queue", "last_enqueued", "head_granted", "granted_active",
         "granted_refs", "synced_refs", "forced_flags", "flag",
         "true_stamp", "true_value", "true_span", "recent", "recent_spans",
+        "invalidated_at", "session_stamps", "forced_refs",
     )
 
     def __init__(self) -> None:
@@ -185,6 +196,12 @@ class _KeyState:
         self.granted_refs: Set[int] = set()   # every ref that ever saw a grant
         self.synced_refs: Set[int] = set()    # refs that ran the acquire sync
         self.forced_flags: Dict[int, Stamp] = {}
+        # Read-lease history: per-node time of the last delivered cache
+        # invalidation, per-client session read stamps, and every ref
+        # whose forcedRelease dequeue has completed.
+        self.invalidated_at: Dict[str, float] = {}
+        self.session_stamps: Dict[str, Stamp] = {}
+        self.forced_refs: Set[int] = set()
         self.flag = _FlagRegister()
         # The "true pair": greatest-stamp acknowledged critical write.
         self.true_stamp: Optional[Stamp] = None
@@ -222,6 +239,7 @@ class ECFAuditor:
         self.violation_counts: Dict[str, int] = {}
         self.counters: Dict[str, int] = {
             "zombie_grants": 0, "zombie_puts": 0, "zombie_gets": 0,
+            "zombie_lease_reads": 0,
             "recovered_mints": 0, "faults": 0, "lwts": 0,
         }
         self._keys: Dict[str, _KeyState] = {}
@@ -489,7 +507,83 @@ class ECFAuditor:
                 "completing the synchFlag quorum write: the next holder's "
                 "flag read can miss the preemption",
             )
+        state.forced_refs.add(ref)
         self._dequeue(ref, state)
+
+    # -- read-lease checkers (DESIGN.md §10) ------------------------------
+
+    def _on_lease_read(self, event: AuditEvent, state: _KeyState) -> None:
+        ref = event.lock_ref
+        if ref not in state.granted_refs:
+            self._violate(
+                "LeaseSafety", event, state,
+                f"leaseholder local read under lockRef {ref}, which was "
+                "never granted the lock (lease anchored without a grant?)",
+            )
+            return
+        if ref in state.forced_refs:
+            self._violate(
+                "LeaseSafety", event, state,
+                f"lockRef {ref} served a local lease read after its "
+                "forcedRelease completed: the lease outlived the ECF "
+                "window (wait-out or revocation check broken)",
+            )
+            return
+        if ref != state.head_granted or ref not in state.queue:
+            # A cleanly-released holder's stale local peek: same benign
+            # zombie race criticalGet tolerates, same bound (its lease
+            # died with the release; the serve is read-only).
+            self.counters["zombie_lease_reads"] += 1
+            return
+        if state.true_stamp is None:
+            return
+        observed = event.fields.get("value")
+        if observed != state.true_value:
+            self._violate(
+                "LeaseSafety", event, state,
+                f"leaseholder local read observed {observed!r} but the "
+                f"true pair (stamp {state.true_stamp[0]:.6f}) is "
+                f"{state.true_value!r} (write-through mirror stale inside "
+                "an open window)",
+                extra_span=state.true_span,
+            )
+
+    def _on_lease_invalidate(self, event: AuditEvent, state: _KeyState) -> None:
+        if event.node is not None:
+            state.invalidated_at[event.node] = event.t_ms
+
+    def _on_cached_read(self, event: AuditEvent, state: _KeyState) -> None:
+        fetched = event.fields.get("fetched_ms")
+        bound = event.fields.get("bound_ms")
+        if fetched is not None:
+            node = event.node
+            invalidated = state.invalidated_at.get(node) if node else None
+            if invalidated is not None and fetched < invalidated:
+                self._violate(
+                    "MonotonicReads", event, state,
+                    f"node {node} served a cached read fetched at "
+                    f"{fetched:.1f}ms, before the key's last delivered "
+                    f"invalidation at {invalidated:.1f}ms (push-grant "
+                    "cache invalidation dropped)",
+                )
+            if bound is not None and event.t_ms - fetched > bound + 1e-9:
+                self._violate(
+                    "MonotonicReads", event, state,
+                    f"cached read served an entry {event.t_ms - fetched:.1f}ms "
+                    f"old against a staleness bound of {bound:g}ms",
+                )
+        client = event.fields.get("client")
+        if client is not None and event.stamp is not None:
+            previous = state.session_stamps.get(client)
+            if previous is not None and event.stamp < previous:
+                self._violate(
+                    "MonotonicReads", event, state,
+                    f"client {client}'s session went backwards on this key: "
+                    f"read stamp {event.stamp[0]:.6f} after having observed "
+                    f"{previous[0]:.6f} (monotonic prefix broken)",
+                )
+            elif previous is None or event.stamp > previous:
+                state.session_stamps[client] = event.stamp
 
     def _dequeue(self, ref: int, state: _KeyState) -> None:
         state.queue.discard(ref)

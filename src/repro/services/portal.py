@@ -103,13 +103,40 @@ class PortalFrontend:
     """A Portal REST front-end replica routing requests to owners."""
 
     def __init__(self, client: MusicClient, backends: List[PortalBackend],
-                 retries: int = 3) -> None:
+                 retries: int = 3,
+                 owner_cache_ttl_ms: float = 30_000.0,
+                 owner_read_staleness_ms: Optional[float] = None) -> None:
         self.client = client
         self.sim = client.sim
         self.backends = backends
         self.retries = retries
-        # Owner cache: stale entries only cost an ownership transition.
+        # Owner cache: a stale entry costs an ownership transition *per
+        # write routed through it*, so entries expire after
+        # ``owner_cache_ttl_ms`` — and, when the deployment runs with
+        # push grants, are dropped the moment a takeover's release push
+        # reaches this front end's replica (the user's lock key is the
+        # user id, so a forcedRelease push names exactly the re-homed
+        # user).  The cache maps user -> backend id; ages live beside it
+        # so existing callers can keep treating it as a plain dict.
         self._owner_cache: Dict[str, str] = {}
+        self._owner_cached_at: Dict[str, float] = {}
+        self.owner_cache_ttl_ms = owner_cache_ttl_ms
+        # Optional staleness bound for owner-record lookups via the
+        # bounded-staleness read tier (requires read_leases).
+        self.owner_read_staleness_ms = owner_read_staleness_ms
+        if client.config.push_grants:
+            client.replica.add_release_listener(self._on_release_push)
+
+    def _on_release_push(self, key: str) -> None:
+        # A release/forcedRelease of ``key`` ended some critical section;
+        # if it was a user's ownership lock, our routing entry for that
+        # user may now point at the loser.
+        self._owner_cache.pop(key, None)
+        self._owner_cached_at.pop(key, None)
+
+    def _cache_owner(self, user_id: str, backend_id: str) -> None:
+        self._owner_cache[user_id] = backend_id
+        self._owner_cached_at[user_id] = self.sim.now
 
     def write(self, user_id: str, role: str) -> Generator[Any, Any, str]:
         """The front-end pseudo-code: try the owner, then fail over."""
@@ -118,19 +145,51 @@ class PortalFrontend:
         for backend in ordered[: self.retries + 1]:
             try:
                 result = yield from backend.write(user_id, role)
-                self._owner_cache[user_id] = backend.backend_id
+                self._cache_owner(user_id, backend.backend_id)
                 return result
+            except (RpcTimeout, NotLockHolder, ReproError) as error:
+                last_error = error
+        raise last_error or RpcTimeout(f"no backend could serve {user_id!r}")
+
+    def dashboard_role(
+        self, user_id: str, staleness_ms: Optional[float] = None
+    ) -> Generator[Any, Any, Optional[str]]:
+        """A dashboard read of the user's role: latest-state via the
+        owner when no bound is given, else the bounded-staleness read
+        tier (served from the replica read cache when fresh enough)."""
+        if staleness_ms is not None:
+            value = yield from self.client.get(user_id, staleness_ms=staleness_ms)
+            return None if value is None else value.get("role")
+        ordered = yield from self._candidate_backends(user_id)
+        last_error: Optional[BaseException] = None
+        for backend in ordered[: self.retries + 1]:
+            try:
+                role = yield from backend.read(user_id)
+                return role
             except (RpcTimeout, NotLockHolder, ReproError) as error:
                 last_error = error
         raise last_error or RpcTimeout(f"no backend could serve {user_id!r}")
 
     def _candidate_backends(self, user_id: str) -> Generator[Any, Any, List[PortalBackend]]:
         owner_id = self._owner_cache.get(user_id)
+        if owner_id is not None:
+            cached_at = self._owner_cached_at.get(user_id)
+            if (
+                cached_at is None
+                or self.sim.now - cached_at > self.owner_cache_ttl_ms
+            ):
+                # Entry aged out (or predates age tracking): re-resolve
+                # rather than routing a write at a possibly-dead owner.
+                self._owner_cache.pop(user_id, None)
+                self._owner_cached_at.pop(user_id, None)
+                owner_id = None
         if owner_id is None:
-            details = yield from self.client.get(_owner_key(user_id))
+            details = yield from self.client.get(
+                _owner_key(user_id), staleness_ms=self.owner_read_staleness_ms
+            )
             if details is not None:
                 owner_id = details["owner"]
-                self._owner_cache[user_id] = owner_id
+                self._cache_owner(user_id, owner_id)
         profile = self.client.replicas[0].network.profile
         by_proximity = sorted(
             self.backends,

@@ -96,6 +96,12 @@ class Row:
     def visible_values(self) -> Dict[str, Any]:
         return {name: cell.value for name, cell in self.visible_cells().items()}
 
+    def cell_stamp(self, column: str) -> Optional[Stamp]:
+        """The visible stamp of one column (None if absent/deleted) —
+        the v2s staleness evidence the read-lease layer keys on."""
+        cell = self.visible_cells().get(column)
+        return None if cell is None else cell.stamp
+
     @property
     def live(self) -> bool:
         return bool(self.visible_cells())

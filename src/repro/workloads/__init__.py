@@ -8,7 +8,12 @@ from .generator import (
     SizedValue,
     value_of_size,
 )
-from .ycsb import PAPER_YCSB_WORKLOADS, YcsbWorkload, ZipfianGenerator
+from .ycsb import (
+    PAPER_YCSB_WORKLOADS,
+    READ_HEAVY_YCSB_WORKLOADS,
+    YcsbWorkload,
+    ZipfianGenerator,
+)
 
 __all__ = [
     "DEFAULT_VALUE_BYTES",
@@ -16,6 +21,7 @@ __all__ = [
     "PAPER_BATCH_SIZES",
     "PAPER_DATA_SIZES",
     "PAPER_YCSB_WORKLOADS",
+    "READ_HEAVY_YCSB_WORKLOADS",
     "SizedValue",
     "YcsbWorkload",
     "ZipfianGenerator",

@@ -13,7 +13,12 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
-__all__ = ["ZipfianGenerator", "YcsbWorkload", "PAPER_YCSB_WORKLOADS"]
+__all__ = [
+    "ZipfianGenerator",
+    "YcsbWorkload",
+    "PAPER_YCSB_WORKLOADS",
+    "READ_HEAVY_YCSB_WORKLOADS",
+]
 
 ZIPFIAN_CONSTANT = 0.99
 
@@ -75,4 +80,11 @@ PAPER_YCSB_WORKLOADS: List[YcsbWorkload] = [
     YcsbWorkload("R", read_fraction=1.0),
     YcsbWorkload("UR", read_fraction=0.5),
     YcsbWorkload("U", read_fraction=0.0),
+]
+
+# Standard YCSB read-heavy mixes (B: 95/5, C: read-only) — the mixes the
+# read scale-out tier (DESIGN.md §10) targets.
+READ_HEAVY_YCSB_WORKLOADS: List[YcsbWorkload] = [
+    YcsbWorkload("B", read_fraction=0.95),
+    YcsbWorkload("C", read_fraction=1.0),
 ]

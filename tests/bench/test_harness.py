@@ -70,7 +70,8 @@ def test_experiment_registry_complete():
     expected = {"table2", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b",
                 "fig7a", "fig7b", "fig8", "fig9", "xb4",
                 "ablation_peek", "ablation_sync", "ext_hierarchical",
-                "storage_durability", "elastic_scaling", "lock_contention"}
+                "storage_durability", "elastic_scaling", "lock_contention",
+                "read_scaleout"}
     assert expected == set(EXPERIMENTS)
 
 

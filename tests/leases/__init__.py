@@ -1,0 +1,1 @@
+"""Tests of the read scale-out lease tier (``src/repro/leases``)."""

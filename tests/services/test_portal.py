@@ -127,6 +127,64 @@ def test_frontend_owner_cache_survives_misses():
     assert backends[0].writes_processed == 2
 
 
+def test_expired_owner_cache_rehomes_without_spurious_takeover():
+    """Regression: ``_owner_cache`` used to cache forever, so a front
+    end that never wrote through a failure kept routing a re-homed user
+    at the deposed owner — which would then forcibly take the lock
+    *back*, ping-ponging ownership.  Entries now age out after
+    ``owner_cache_ttl_ms`` and the write re-resolves the owner record."""
+    music, backends, frontend = build_portal()
+    fe2 = PortalFrontend(
+        music.client("N.California", "fe-2"), backends,
+        owner_cache_ttl_ms=5_000.0,
+    )
+
+    def scenario():
+        yield from frontend.write("alice", "admin")      # owner: be-Ohio
+        yield from fe2.write("alice", "operator")        # fe2 caches be-Ohio
+        backends[0].fail()
+        yield from frontend.write("alice", "editor")     # re-homes alice
+        backends[0].recover()
+        new_owner_id = frontend._owner_cache["alice"]
+        yield music.sim.timeout(6_000.0)                 # age past fe2's TTL
+        takeovers_before = sum(b.ownership_takeovers for b in backends)
+        yield from fe2.write("alice", "auditor")
+        takeovers_after = sum(b.ownership_takeovers for b in backends)
+        return new_owner_id, fe2._owner_cache["alice"], (
+            takeovers_after - takeovers_before
+        )
+
+    new_owner_id, fe2_owner, extra_takeovers = run(music, scenario())
+    assert new_owner_id != "be-Ohio"
+    # fe2's aged-out entry was re-resolved to the live owner: the write
+    # went straight there instead of bouncing ownership via be-Ohio.
+    assert fe2_owner == new_owner_id
+    assert extra_takeovers == 0
+
+
+def test_release_push_drops_stale_owner_cache_before_the_ttl():
+    """With push grants on (the read-lease deployments), the takeover's
+    forcedRelease push names the re-homed user's key, so a front end
+    drops its stale routing entry immediately — no TTL wait."""
+    music, backends, frontend = build_portal(read_leases=True)
+    fe2 = PortalFrontend(
+        music.client("Ohio", "fe-2"), backends, owner_cache_ttl_ms=1e9
+    )
+
+    def scenario():
+        yield from frontend.write("alice", "admin")
+        yield from fe2.write("alice", "operator")
+        assert fe2._owner_cache["alice"] == "be-Ohio"
+        backends[0].fail()
+        yield from frontend.write("alice", "editor")     # forced takeover
+        yield music.sim.timeout(500.0)                   # push propagation
+        return "alice" in fe2._owner_cache
+
+    # fe2 never wrote again and its TTL is effectively infinite: only
+    # the release push can have dropped the entry.
+    assert run(music, scenario()) is False
+
+
 def test_independent_users_have_independent_owners():
     music, backends, frontend = build_portal()
     fe_oregon = PortalFrontend(music.client("Oregon", "fe-oregon"), backends)
