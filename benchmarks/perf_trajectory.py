@@ -1,0 +1,351 @@
+#!/usr/bin/env python
+"""The simulator perf-trajectory harness and regression gate.
+
+ROADMAP item 1 ("make the simulator itself fast") needs a measurement
+substrate: every optimization PR must show events/sec moving the right
+way, and every unrelated PR must not quietly make the DES slower.  This
+harness runs two standard scenarios with the DES self-profiler attached
+(:class:`repro.obs.SimProfiler` via ``build_music(profile=True)``):
+
+- ``contention16`` — the 16-client / 1-hot-key contention bench shape
+  (seed 606, fast path off): lock-queue churn, LWT rounds, backoff
+  timers.  Heavy on the scheduler and the lockstore.
+- ``ycsb_b_leases`` — YCSB-B read-heavy ownership workload with read
+  leases on, 3 store nodes per site (seed 808): many cheap local events
+  plus quorum writes.  Heavy on RPC fan-out and span allocation.
+
+For each scenario it records sim-events/sec, wall-seconds, heap
+high-water, allocation counters and per-subsystem wall shares, and
+appends the records to ``benchmarks/results/BENCH_simcore.json`` (the
+shared ``repro.bench`` trajectory schema).
+
+Machine portability: raw events/sec depends on the host, so the gate
+compares **relative cost** = calibration-loop-ops-per-sec divided by
+sim-events-per-sec — how many units of plain-python work this machine
+trades for one simulated event.  That ratio moves with the simulator's
+efficiency, not the host's clock speed.
+
+Usage::
+
+    python benchmarks/perf_trajectory.py                # measure + append
+    python benchmarks/perf_trajectory.py --smoke        # small CI-sized run
+    python benchmarks/perf_trajectory.py --smoke --check   # regression gate
+    python benchmarks/perf_trajectory.py --update       # rewrite the baseline
+    python benchmarks/perf_trajectory.py --speedscope out/  # flamegraphs
+
+``--check`` exits 1 if any scenario's relative cost regressed by more
+than ``--threshold`` (default 30%) against the newest committed entry
+with the same scenario + scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, Generator, List, Optional
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import BENCH_SCHEMA, append_bench_entry, bench_record, results_dir  # noqa: E402
+from repro.core import build_music  # noqa: E402
+from repro.obs import write_speedscope  # noqa: E402
+
+TRAJECTORY_FILE = "BENCH_simcore.json"
+DEFAULT_THRESHOLD = 0.30
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def run_contention16(smoke: bool) -> Dict[str, Any]:
+    """The contention bench shape: N clients hammering one hot key."""
+    clients_n = 8 if smoke else 16
+    rounds = 2 if smoke else 3
+    deployment = build_music(seed=606, profile=True)
+    sim = deployment.sim
+    sites = deployment.profile.site_names
+    clients = [
+        deployment.client(sites[index % len(sites)]) for index in range(clients_n)
+    ]
+
+    def worker(client) -> Generator[Any, Any, None]:
+        for _ in range(rounds):
+            section = yield from client.critical_section("hot", timeout_ms=1e9)
+            value = yield from section.get()
+            yield from section.put((value or 0) + 1)
+            yield from section.exit()
+
+    processes = [sim.process(worker(client)) for client in clients]
+    for process in processes:
+        sim.run_until_complete(process, limit=1e10)
+    snapshot = deployment.profiler.snapshot()
+    snapshot["config"] = {"clients": clients_n, "rounds": rounds, "seed": 606}
+    snapshot["profiler"] = deployment.profiler
+    return snapshot
+
+
+def run_ycsb_b_leases(smoke: bool) -> Dict[str, Any]:
+    """YCSB-B ownership reads with leases on (the read-scale-out shape)."""
+    from repro.workloads import READ_HEAVY_YCSB_WORKLOADS
+
+    workers_n = 3 if smoke else 9
+    window_ms = 500.0 if smoke else 2_000.0
+    think_ms = 2.0
+    mix = next(w for w in READ_HEAVY_YCSB_WORKLOADS if w.name == "B")
+    deployment = build_music(
+        profile_name="lUs", nodes_per_site=3, seed=808,
+        read_leases=True, profile=True,
+    )
+    sim = deployment.sim
+    sites = deployment.profile.site_names
+
+    def worker(index: int) -> Generator[Any, Any, None]:
+        client = deployment.client(sites[index % len(sites)])
+        rng = deployment.streams.stream(f"perf-leases-{index}")
+        section = yield from client.critical_section(f"owner-{index}", timeout_ms=1e9)
+        seq = 0
+        yield from section.put({"seq": seq})
+        while sim.now < window_ms:
+            if rng.random() < mix.read_fraction:
+                yield from section.get()
+            else:
+                seq += 1
+                yield from section.put({"seq": seq})
+            yield sim.timeout(think_ms)
+        yield from section.exit()
+
+    processes = [sim.process(worker(index)) for index in range(workers_n)]
+    for process in processes:
+        sim.run_until_complete(process, limit=1e10)
+    snapshot = deployment.profiler.snapshot()
+    snapshot["config"] = {
+        "workers": workers_n, "window_ms": window_ms, "mix": "B", "seed": 808,
+    }
+    snapshot["profiler"] = deployment.profiler
+    return snapshot
+
+
+SCENARIOS = {
+    "contention16": run_contention16,
+    "ycsb_b_leases": run_ycsb_b_leases,
+}
+
+
+# -- machine calibration -----------------------------------------------------
+
+
+def calibrate(duration_s: float = 0.2) -> float:
+    """Ops/sec of a pure-python reference loop on this machine.
+
+    A dict-and-arithmetic loop shaped like the simulator's own hot path
+    (heap math, dict lookups, attribute traffic) so the ratio
+    ``calib_ops / sim_events`` cancels most host-speed variation when
+    the gate compares runs from different machines.
+    """
+    deadline = time.perf_counter() + duration_s
+    ops = 0
+    bucket: Dict[int, float] = {}
+    acc = 0.0
+    while time.perf_counter() < deadline:
+        for _ in range(1_000):
+            key = ops & 1023
+            acc = bucket.get(key, 0.0) + 1.5
+            bucket[key] = acc
+            ops += 1
+    elapsed = duration_s + (time.perf_counter() - deadline)
+    return ops / elapsed if elapsed > 0 else 0.0
+
+
+# -- trajectory records ------------------------------------------------------
+
+
+def measure(scenario: str, smoke: bool, calib_ops: float) -> Dict[str, Any]:
+    snapshot = SCENARIOS[scenario](smoke)
+    config = snapshot.pop("config")
+    profiler = snapshot.pop("profiler")
+    events_per_sec = snapshot["events_per_sec"]
+    relative_cost = calib_ops / events_per_sec if events_per_sec else float("inf")
+    metrics = {
+        "events": snapshot["events"],
+        "wall_s": round(snapshot["wall_s"], 4),
+        "events_per_sec": round(events_per_sec, 1),
+        "heap_high_water": snapshot["heap_high_water"],
+        "rpc_envelopes": snapshot["rpc_envelopes"],
+        "obs_spans": snapshot["obs_spans"],
+        "subsystem_shares": {
+            name: round(share, 4)
+            for name, share in snapshot["subsystem_shares"].items()
+        },
+        "calib_ops_per_sec": round(calib_ops, 1),
+        "relative_cost": round(relative_cost, 3),
+    }
+    return {
+        "scenario": scenario,
+        "config": {"scenario": scenario, "scale": "smoke" if smoke else "quick", **config},
+        "metrics": metrics,
+        "profiler": profiler,
+    }
+
+
+def load_baselines() -> List[Dict[str, Any]]:
+    target = results_dir() / TRAJECTORY_FILE
+    try:
+        document = json.loads(target.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(document, dict) or document.get("schema") != BENCH_SCHEMA:
+        return []
+    entries = document.get("entries")
+    return entries if isinstance(entries, list) else []
+
+
+def find_baseline(
+    entries: List[Dict[str, Any]], scenario: str, scale: str
+) -> Optional[Dict[str, Any]]:
+    """The newest committed entry matching scenario + scale."""
+    for entry in reversed(entries):
+        config = entry.get("config", {})
+        if config.get("scenario") == scenario and config.get("scale") == scale:
+            return entry
+    return None
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure the DES core and gate wall-clock regressions"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small CI-sized workloads"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="append this run to the committed trajectory file",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative-cost regression tolerance (default 0.30 = +30%%)",
+    )
+    parser.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), action="append",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--speedscope", metavar="DIR",
+        help="write per-scenario speedscope profiles into this directory",
+    )
+    parser.add_argument(
+        "--timestamp", type=float, default=None,
+        help="timestamp to stamp appended entries with (default: now)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else "quick"
+    scenarios = args.scenario or sorted(SCENARIOS)
+    calib_ops = calibrate()
+    print(f"calibration: {calib_ops:,.0f} reference ops/sec on this host")
+
+    baselines = load_baselines()
+    failures: List[str] = []
+    for scenario in scenarios:
+        began = time.perf_counter()
+        result = measure(scenario, args.smoke, calib_ops)
+        took = time.perf_counter() - began
+        metrics = result["metrics"]
+        shares = ", ".join(
+            f"{name} {100.0 * share:.0f}%"
+            for name, share in sorted(
+                metrics["subsystem_shares"].items(), key=lambda kv: -kv[1]
+            )[:4]
+        )
+        print(
+            f"{scenario} [{scale}]: {metrics['events']} events in "
+            f"{metrics['wall_s']:.3f}s wall ({metrics['events_per_sec']:,.0f} ev/s, "
+            f"relative cost {metrics['relative_cost']:.2f}, "
+            f"heap hw {metrics['heap_high_water']}, total {took:.1f}s)"
+        )
+        print(f"  subsystems: {shares}")
+
+        if args.speedscope:
+            out_dir = pathlib.Path(args.speedscope)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_file = out_dir / f"simcore-{scenario}-{scale}.speedscope.json"
+            write_speedscope(
+                f"simcore {scenario} ({scale})",
+                result["profiler"].speedscope_samples(),
+                str(out_file),
+            )
+            print(f"  speedscope profile written to {out_file}")
+
+        if args.check:
+            baseline = find_baseline(baselines, scenario, scale)
+            if baseline is None:
+                print(f"  no committed {scale} baseline for {scenario}; skipping gate")
+            else:
+                base_cost = baseline.get("metrics", {}).get("relative_cost")
+                if not base_cost:
+                    print(f"  baseline for {scenario} lacks relative_cost; skipping gate")
+                else:
+                    ratio = metrics["relative_cost"] / base_cost
+                    verdict = "OK" if ratio <= 1.0 + args.threshold else "REGRESSION"
+                    print(
+                        f"  gate: relative cost {metrics['relative_cost']:.2f} vs "
+                        f"baseline {base_cost:.2f} ({ratio:.2f}x, "
+                        f"limit {1.0 + args.threshold:.2f}x) -> {verdict}"
+                    )
+                    if ratio > 1.0 + args.threshold:
+                        failures.append(
+                            f"{scenario}: {ratio:.2f}x baseline relative cost "
+                            f"(limit {1.0 + args.threshold:.2f}x)"
+                        )
+
+        if args.update:
+            seed = result["config"].get("seed")
+            timestamp = args.timestamp if args.timestamp is not None else time.time()
+            target = append_bench_entry(
+                "simcore",
+                config=result["config"],
+                seed=seed,
+                metrics=metrics,
+                timestamp=round(timestamp, 1),
+                filename=TRAJECTORY_FILE,
+                keep_last=50,
+            )
+            if target is not None:
+                print(f"  appended to {target}")
+            else:
+                print("  (read-only checkout: trajectory not persisted)")
+
+    if failures:
+        print()
+        print("perf regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+# Make the record shape importable for tests without running workloads.
+def example_record() -> Dict[str, Any]:
+    """A schema-true example entry (for schema tests)."""
+    return bench_record(
+        "simcore",
+        config={"scenario": "contention16", "scale": "smoke"},
+        seed=606,
+        metrics={"events": 0, "wall_s": 0.0, "events_per_sec": 0.0,
+                 "relative_cost": 0.0},
+        timestamp=None,
+    )

@@ -29,6 +29,7 @@ from ..net import PAPER_PROFILES, Network
 from ..sim import RandomStreams, Simulator
 from ..workloads import PAPER_DATA_SIZES, PAPER_YCSB_WORKLOADS, SizedValue, ZipfianGenerator
 from .harness import measure_latency, measure_throughput
+from .results import write_bench_json
 from .workers import (
     cassa_ev_operation,
     cassa_ev_worker,
@@ -994,9 +995,6 @@ def storage_durability() -> ExperimentResult:
     Writes a machine-readable baseline to
     ``benchmarks/results/BENCH_storage.json``.
     """
-    import json
-    import pathlib
-
     from ..storage import StorageEngineConfig
     from ..store import StoreConfig
 
@@ -1072,14 +1070,12 @@ def storage_durability() -> ExperimentResult:
           row["lost_records"]] for row in rows],
     )
     baseline = {"scale": scale_name(), "fsync_latency_ms": fsync_ms, "modes": rows}
-    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
-    try:
-        results_dir.mkdir(parents=True, exist_ok=True)
-        (results_dir / "BENCH_storage.json").write_text(
-            json.dumps(baseline, indent=2) + "\n"
-        )
-    except OSError:
-        pass  # read-only checkout: the result still carries the data
+    write_bench_json(
+        "storage",
+        config={"scale": scale_name(), "fsync_latency_ms": fsync_ms},
+        seed=404,
+        metrics={"modes": rows},
+    )
     return ExperimentResult("storage_durability", "Durability modes", text,
                             {"baseline": baseline}, checks)
 
@@ -1102,9 +1098,6 @@ def elastic_scaling() -> ExperimentResult:
     acknowledged write is lost, and the crash really fired.  Writes a
     machine-readable baseline to ``benchmarks/results/BENCH_elastic.json``.
     """
-    import json
-    import pathlib
-
     from ..core.replica import VALUE_ROW
     from ..store import Consistency
 
@@ -1217,14 +1210,18 @@ def elastic_scaling() -> ExperimentResult:
         "acked_keys": len(acked),
         "lost_acked_writes": len(lost),
     }
-    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
-    try:
-        results_dir.mkdir(parents=True, exist_ok=True)
-        (results_dir / "BENCH_elastic.json").write_text(
-            json.dumps(baseline, indent=2) + "\n"
-        )
-    except OSError:
-        pass  # read-only checkout: the result still carries the data
+    write_bench_json(
+        "elastic",
+        config={"scale": scale_name(), "sizes": sizes, "threads": threads},
+        seed=431,
+        metrics={
+            "throughput_per_size": baseline["throughput_per_size"],
+            "growth_ratio": baseline["growth_ratio"],
+            "fault_log": crash_labels,
+            "acked_keys": len(acked),
+            "lost_acked_writes": len(lost),
+        },
+    )
     text = render_series(
         "Elastic scaling — one live 3->9 growth under CS traffic (op/s)",
         "nodes", {"MUSIC (live growth)": [throughput[s] for s in sizes]}, sizes,
@@ -1250,9 +1247,6 @@ def lock_contention() -> ExperimentResult:
     Writes a machine-readable baseline to
     ``benchmarks/results/BENCH_contention.json``.
     """
-    import json
-    import pathlib
-
     p = _params()
     n_clients = p["contention_clients"]
     rounds = p["contention_rounds"]
@@ -1329,14 +1323,15 @@ def lock_contention() -> ExperimentResult:
         "speedup_cs_per_sec": round(speedup, 3),
         "modes": [off, on],
     }
-    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
-    try:
-        results_dir.mkdir(parents=True, exist_ok=True)
-        (results_dir / "BENCH_contention.json").write_text(
-            json.dumps(baseline, indent=2) + "\n"
-        )
-    except OSError:
-        pass  # read-only checkout: the result still carries the data
+    write_bench_json(
+        "contention",
+        config={
+            "scale": scale_name(), "clients": n_clients,
+            "rounds_per_client": rounds, "hot_keys": 1,
+        },
+        seed=606,
+        metrics={"speedup_cs_per_sec": round(speedup, 3), "modes": [off, on]},
+    )
     text = render_table(
         f"Lock contention — {n_clients} clients, 1 hot key (lUs)",
         ["mode", "CS/sec", "mean (ms)", "p50 (ms)", "p99 (ms)", "makespan (ms)"],
@@ -1360,9 +1355,6 @@ def read_scaleout() -> ExperimentResult:
     audited ECF window.  Both modes run with the runtime auditor
     attached.  Writes ``benchmarks/results/BENCH_leases.json``.
     """
-    import json
-    import pathlib
-
     from ..workloads import READ_HEAVY_YCSB_WORKLOADS
 
     p = _params()
@@ -1458,14 +1450,16 @@ def read_scaleout() -> ExperimentResult:
         "read_throughput_ratio": round(thr_ratio, 3),
         "modes": [off, on],
     }
-    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
-    try:
-        results_dir.mkdir(parents=True, exist_ok=True)
-        (results_dir / "BENCH_leases.json").write_text(
-            json.dumps(baseline, indent=2) + "\n"
-        )
-    except OSError:
-        pass  # read-only checkout: the result still carries the data
+    write_bench_json(
+        "leases",
+        config={
+            "scale": scale_name(), "workers": n_workers,
+            "mix": {"name": mix.name, "read_fraction": mix.read_fraction},
+            "think_ms": think_ms, "window_ms": window_ms,
+        },
+        seed=808,
+        metrics={"read_throughput_ratio": round(thr_ratio, 3), "modes": [off, on]},
+    )
     text = render_table(
         f"Read scale-out — {n_workers} owners, YCSB-{mix.name} "
         f"({mix.read_fraction:.0%} reads), 9 store nodes (lUs)",

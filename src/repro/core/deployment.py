@@ -39,6 +39,9 @@ class MusicDeployment:
     # The elasticity control plane (repro.topo.TopologyManager); None
     # unless built with ``elastic=True``.
     topology: Optional[object] = None
+    # The DES self-profiler (repro.obs.SimProfiler); None unless built
+    # with ``profile=True``.
+    profiler: Optional[object] = None
     _client_seq: Dict[str, int] = field(default_factory=dict)
 
     def replica_at(self, site: str) -> MusicReplica:
@@ -93,6 +96,7 @@ def build_music(
     topo_config=None,
     fast_locks: Optional[bool] = None,
     read_leases: Optional[bool] = None,
+    profile: bool = False,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
@@ -130,21 +134,32 @@ def build_music(
     cache — together with ``push_grants`` (the invalidation channel).
     The default leaves the tier entirely unbuilt with bit-identical
     timings.
+
+    ``profile=True`` installs a :class:`~repro.obs.SimProfiler` on the
+    simulator (returned as ``deployment.profiler``): wall-clock cost of
+    the DES kernel itself — events/sec, heap high-water, per-event-type
+    and per-subsystem handler time, RPC-envelope/obs-span allocation
+    counts.  Wall-clock only; simulated timings stay bit-identical.
     """
-    profile = PAPER_PROFILES[profile_name]
+    latency_profile = PAPER_PROFILES[profile_name]
     sim = sim or Simulator()
+    profiler = None
+    if profile:
+        from ..obs import SimProfiler
+
+        profiler = SimProfiler().install(sim)
     streams = RandomStreams(seed)
     if audit and obs is None:
         obs = True
     if obs is True:
         obs = Observability(sim)
     if network is None:
-        network = Network(sim, profile, streams=streams, obs=obs)
+        network = Network(sim, latency_profile, streams=streams, obs=obs)
     elif obs is not None and not network.obs.enabled:
         network.obs = obs
         obs.observe_network(network)
     store_config = store_config or StoreConfig(
-        replication_factor=len(profile.site_names)
+        replication_factor=len(latency_profile.site_names)
     )
     store_config.anti_entropy_enabled = anti_entropy
     if wal_sync is not None:
@@ -173,7 +188,7 @@ def build_music(
         )
 
     store = build_cluster(
-        sim, network, profile,
+        sim, network, latency_profile,
         nodes_per_site=nodes_per_site,
         config=store_config,
         streams=streams,
@@ -187,7 +202,7 @@ def build_music(
         from ..topo import TopoConfig, TopologyManager
 
         topology = TopologyManager(
-            sim, network, store, profile.site_names[0], streams,
+            sim, network, store, latency_profile.site_names[0], streams,
             config=topo_config or TopoConfig(),
         )
         topology.start()
@@ -195,7 +210,7 @@ def build_music(
     skew_rng = streams.stream("music-clock-skew")
     replicas: List[MusicReplica] = []
     detectors: List[FailureDetector] = []
-    for site_index, site in enumerate(profile.site_names):
+    for site_index, site in enumerate(latency_profile.site_names):
         for slot in range(music_replicas_per_site):
             offset = skew_rng.uniform(-clock_skew_ms, clock_skew_ms) if clock_skew_ms else 0.0
             replica = replica_class(
@@ -218,8 +233,8 @@ def build_music(
         ]
 
     return MusicDeployment(
-        sim=sim, network=network, profile=profile, store=store,
+        sim=sim, network=network, profile=latency_profile, store=store,
         replicas=replicas, detectors=detectors, config=music_config,
         streams=streams, obs=network.obs, auditor=auditor,
-        topology=topology,
+        topology=topology, profiler=profiler,
     )

@@ -153,6 +153,9 @@ class Node:
         reply_event = self.sim.event(name=f"rpc:{kind}:{request_id}")
         self._pending_replies[request_id] = reply_event
         envelope = {"request_id": request_id, "reply_to": self.node_id, "payload": body}
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.rpc_envelopes += 1
         trace_context = self.obs.tracer.rpc_context()
         if trace_context is not None:
             envelope["trace"] = trace_context

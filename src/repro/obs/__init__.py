@@ -26,6 +26,18 @@ from .audit import (
     replay_audit,
     write_audit_jsonl,
 )
+from .critpath import (
+    CritPath,
+    PhaseSlice,
+    critpath_speedscope_samples,
+    explain_table,
+    extract_critpaths,
+    load_critpath_jsonl,
+    observe_phases,
+    phase_summary,
+    render_phase_summary,
+    write_critpath_jsonl,
+)
 from .export import (
     PhaseBreakdown,
     PhaseStats,
@@ -33,8 +45,10 @@ from .export import (
     load_jsonl,
     phase_breakdown,
     render_phase_table,
+    speedscope_document,
     write_chrome_trace,
     write_jsonl,
+    write_speedscope,
 )
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -42,14 +56,18 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    derived_ratios,
+    render_derived_ratios,
 )
 from .netobs import NetworkEvent, NetworkObserver, network_events
+from .prof import SimProfiler, subsystem_of
 from .recorder import NULL_OBS, NullObservability, Observability
 from .trace import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
 
 __all__ = [
     "AuditEvent",
     "Counter",
+    "CritPath",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "ECFAuditor",
     "Gauge",
@@ -65,19 +83,34 @@ __all__ = [
     "NullTracer",
     "Observability",
     "PhaseBreakdown",
+    "PhaseSlice",
     "PhaseStats",
+    "SimProfiler",
     "Span",
     "SpanRecord",
     "Tracer",
     "chrome_trace_events",
+    "critpath_speedscope_samples",
+    "derived_ratios",
+    "explain_table",
+    "extract_critpaths",
     "load_audit_jsonl",
+    "load_critpath_jsonl",
     "load_jsonl",
     "network_events",
+    "observe_phases",
     "phase_breakdown",
+    "phase_summary",
+    "render_derived_ratios",
+    "render_phase_summary",
     "render_phase_table",
     "render_span_tree",
     "replay_audit",
+    "speedscope_document",
+    "subsystem_of",
     "write_audit_jsonl",
     "write_chrome_trace",
+    "write_critpath_jsonl",
     "write_jsonl",
+    "write_speedscope",
 ]

@@ -1,6 +1,6 @@
 """The ``python -m repro.obs`` report CLI.
 
-Three modes:
+Four modes:
 
 - ``python -m repro.obs fig5b`` (the default) — run a small MUSIC
   deployment with observability on, drive a single-client critical-
@@ -9,6 +9,12 @@ Three modes:
   ``--chrome`` additionally dump the raw spans for offline analysis or
   Perfetto; ``--audit`` attaches the runtime ECF auditor and prints its
   report, ``--audit-jsonl`` dumps the audit history for offline replay.
+- ``python -m repro.obs explain`` — the tail-latency explainer: run the
+  16-client contention workload (or load ``--spans spans.jsonl``),
+  reconstruct every critical section's blocking chain
+  (:mod:`repro.obs.critpath`), and print the slowest CSs with their
+  dominant phase, guilty span IDs and replica/site, plus the aggregate
+  phase totals.  ``--speedscope`` exports a phase flamegraph.
 - ``python -m repro.obs report spans.jsonl`` — rebuild the phase table
   from a previously dumped JSONL file.
 - ``python -m repro.obs audit events.jsonl`` — replay a dumped audit
@@ -18,8 +24,8 @@ Three modes:
 
 Example::
 
-    $ python -m repro.obs fig5b --profile lUs --ops 20 --chrome trace.json
-    phase breakdown of 'music.cs' (20 ops, mean end-to-end 186.21 ms)
+    $ python -m repro.obs explain --slowest 5 --phase release.lwt
+    slowest 5 critical sections dominated by 'release.lwt'
     ...
 """
 
@@ -31,13 +37,23 @@ from collections import Counter as TallyCounter
 from typing import Any, Generator, List, Optional
 
 from .audit import replay_audit, write_audit_jsonl
+from .critpath import (
+    critpath_speedscope_samples,
+    explain_table,
+    extract_critpaths,
+    observe_phases,
+    render_phase_summary,
+    write_critpath_jsonl,
+)
 from .export import (
     load_jsonl,
     phase_breakdown,
     render_phase_table,
     write_chrome_trace,
     write_jsonl,
+    write_speedscope,
 )
+from .metrics import MetricsRegistry, render_derived_ratios
 from .trace import SpanRecord
 
 ROOT_SPAN = "music.cs"
@@ -78,6 +94,10 @@ def _run_fig5b(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(obs.metrics.render())
+        ratios = render_derived_ratios(obs.metrics)
+        if ratios:
+            print()
+            print(ratios)
     if deployment.auditor is not None:
         print()
         print(deployment.auditor.render_report(spans=spans))
@@ -87,6 +107,99 @@ def _run_fig5b(args: argparse.Namespace) -> int:
         if not deployment.auditor.clean:
             return 1
     return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    if args.spans:
+        try:
+            spans = load_jsonl(args.spans)
+        except OSError as error:
+            print(f"cannot read {args.spans}: {error}", file=sys.stderr)
+            return 1
+        except (KeyError, ValueError) as error:
+            print(f"{args.spans} is not a span JSONL dump ({error!r})", file=sys.stderr)
+            return 1
+        if not spans:
+            print(f"no spans in {args.spans}", file=sys.stderr)
+            return 1
+    else:
+        spans = _contention_spans(args)
+
+    root = args.root or ROOT_SPAN
+    paths = extract_critpaths(spans, root_name=root)
+    if not paths:
+        print(f"no {root!r} spans found; pass --root to pick another", file=sys.stderr)
+        return 1
+
+    print(explain_table(paths, slowest=args.slowest, phase=args.phase))
+    print()
+    print(render_phase_summary(paths))
+    worst = max(
+        abs(path.attributed_ms - path.duration_ms) / path.duration_ms
+        for path in paths
+        if path.duration_ms > 0
+    )
+    print(
+        f"attribution: phase times sum to within {100.0 * worst:.2f}% of each "
+        f"CS's measured latency ({len(paths)} CSs, {len(spans)} spans)"
+    )
+    if args.histograms:
+        registry = MetricsRegistry()
+        observe_phases(paths, registry)
+        print()
+        print(registry.render())
+    if args.jsonl:
+        write_jsonl(spans, args.jsonl)
+        print(f"spans written to {args.jsonl}")
+    if args.critpath_jsonl:
+        write_critpath_jsonl(paths, args.critpath_jsonl)
+        print(f"critical paths written to {args.critpath_jsonl}")
+    if args.chrome:
+        write_chrome_trace(spans, args.chrome)
+        print(f"chrome trace written to {args.chrome} (load in Perfetto / about://tracing)")
+    if args.speedscope:
+        write_speedscope(
+            "critical-path phases", critpath_speedscope_samples(paths), args.speedscope
+        )
+        print(f"speedscope profile written to {args.speedscope} (load at speedscope.app)")
+    return 0
+
+
+def _contention_spans(args: argparse.Namespace) -> List[SpanRecord]:
+    """Run the standard contention workload (the 16-client hot-key bench
+    shape, seed 606) with tracing on and return its spans."""
+    from ..core import build_music
+
+    deployment = build_music(
+        profile_name=args.profile, obs=True, seed=args.seed,
+        fast_locks=args.fast_locks,
+    )
+    sim = deployment.sim
+    obs = deployment.obs
+    sites = deployment.profile.site_names
+    clients = [
+        deployment.client(sites[index % len(sites)]) for index in range(args.clients)
+    ]
+
+    def worker(client) -> Generator[Any, Any, None]:
+        for _ in range(args.rounds):
+            with obs.tracer.span(
+                ROOT_SPAN, node=client.client_id, site=client.site, key="hot"
+            ):
+                section = yield from client.critical_section("hot", timeout_ms=1e9)
+                value = yield from section.get()
+                yield from section.put((value or 0) + 1)
+                yield from section.exit()
+
+    processes = [sim.process(worker(client)) for client in clients]
+    for process in processes:
+        sim.run_until_complete(process, limit=1e10)
+    print(
+        f"ran {args.clients} clients x {args.rounds} rounds on 1 hot key "
+        f"({args.profile}, seed {args.seed}, "
+        f"fast_locks={'on' if args.fast_locks else 'off'})"
+    )
+    return obs.tracer.spans
 
 
 def _run_report(args: argparse.Namespace) -> int:
@@ -134,6 +247,32 @@ def _guess_root(spans: List[SpanRecord]) -> str:
     return tally.most_common(1)[0][0]
 
 
+def _span_hit_ratios(spans: List[SpanRecord]) -> List[str]:
+    """Hit-rate lines derivable from span attributes alone.
+
+    Works on offline JSONL dumps where no metrics registry exists:
+    ``music.grant`` spans carry ``fast=True`` on synchFlag fast-path
+    grants, ``music.criticalGet`` spans carry ``lease=True`` on
+    leaseholder-local reads.
+    """
+    lines: List[str] = []
+    grants = [span for span in spans if span.name == "music.grant"]
+    fast = sum(1 for span in grants if span.attrs.get("fast"))
+    if grants and (fast or any("fast" in span.attrs for span in grants)):
+        lines.append(
+            f"synchFlag fast-path grants: {fast}/{len(grants)} "
+            f"({100.0 * fast / len(grants):.1f}%)"
+        )
+    reads = [span for span in spans if span.name == "music.criticalGet"]
+    local = sum(1 for span in reads if span.attrs.get("lease"))
+    if reads and (local or any("lease" in span.attrs for span in reads)):
+        lines.append(
+            f"leaseholder local criticalGets: {local}/{len(reads)} "
+            f"({100.0 * local / len(reads):.1f}%)"
+        )
+    return lines
+
+
 def _emit(spans: List[SpanRecord], root: str, args: argparse.Namespace) -> None:
     breakdown = phase_breakdown(spans, root, depth=args.depth)
     print(render_phase_table(breakdown))
@@ -141,6 +280,12 @@ def _emit(spans: List[SpanRecord], root: str, args: argparse.Namespace) -> None:
         f"coverage: phases account for {100.0 * breakdown.coverage:.1f}% "
         f"of end-to-end time ({len(spans)} spans recorded)"
     )
+    ratios = _span_hit_ratios(spans)
+    if ratios:
+        print()
+        print("derived hit-rates:")
+        for line in ratios:
+            print(f"  {line}")
     jsonl: Optional[str] = getattr(args, "jsonl", None)
     chrome: Optional[str] = getattr(args, "chrome", None)
     if jsonl:
@@ -156,10 +301,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs",
         description="observability reports for the MUSIC reproduction",
     )
-    subparsers = parser.add_subparsers(dest="command")
+    subparsers = parser.add_subparsers(
+        dest="command", title="commands", metavar="{fig5b,explain,report,audit}"
+    )
 
     fig5b = subparsers.add_parser(
-        "fig5b", help="run a traced workload and print the phase breakdown"
+        "fig5b",
+        help="run a traced workload and print the Fig. 5(b) phase breakdown",
+        description=(
+            "Run a single-client critical-section workload with tracing on "
+            "and print the per-phase latency table (the paper's Fig. 5(b)), "
+            "optionally with metrics, derived hit-rates, span dumps and the "
+            "runtime ECF auditor."
+        ),
     )
     fig5b.add_argument("--profile", default="lUs", help="latency profile (default lUs)")
     fig5b.add_argument("--ops", type=int, default=20, help="critical sections to run")
@@ -169,7 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig5b.add_argument("--jsonl", help="also dump spans to this JSONL file")
     fig5b.add_argument("--chrome", help="also dump a Chrome trace-event JSON file")
     fig5b.add_argument(
-        "--metrics", action="store_true", help="also print the metrics registry"
+        "--metrics", action="store_true",
+        help="also print the metrics registry and derived hit-rate ratios",
     )
     fig5b.add_argument(
         "--audit", action="store_true",
@@ -181,14 +336,77 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     fig5b.set_defaults(run=_run_fig5b)
 
-    report = subparsers.add_parser("report", help="rebuild tables from a JSONL dump")
+    explain = subparsers.add_parser(
+        "explain",
+        help="critical-path attribution: why were the slowest CSs slow",
+        description=(
+            "Reconstruct each critical section's blocking chain from spans "
+            "and print the tail-latency explainer: the slowest CSs ranked "
+            "with dominant phase, guilty span IDs and replica/site, plus "
+            "aggregate per-phase totals.  With no --spans file, runs the "
+            "standard 16-client hot-key contention workload."
+        ),
+    )
+    explain.add_argument(
+        "--spans", help="analyze this spans.jsonl instead of running a workload"
+    )
+    explain.add_argument(
+        "--slowest", type=int, default=5, help="how many CSs to list (default 5)"
+    )
+    explain.add_argument(
+        "--phase", help="only list CSs whose dominant phase matches (e.g. mint.lwt)"
+    )
+    explain.add_argument(
+        "--root", help=f"root span name (default {ROOT_SPAN})"
+    )
+    explain.add_argument(
+        "--clients", type=int, default=16, help="contention clients (default 16)"
+    )
+    explain.add_argument(
+        "--rounds", type=int, default=3, help="critical sections per client (default 3)"
+    )
+    explain.add_argument("--profile", default="lUs", help="latency profile (default lUs)")
+    explain.add_argument("--seed", type=int, default=606, help="workload seed (default 606)")
+    explain.add_argument(
+        "--fast-locks", action="store_true",
+        help="run the workload with the contention hot path on",
+    )
+    explain.add_argument(
+        "--histograms", action="store_true",
+        help="also print per-phase latency histograms (crit.phase_ms)",
+    )
+    explain.add_argument("--jsonl", help="dump the raw spans to this JSONL file")
+    explain.add_argument(
+        "--critpath-jsonl", help="dump the CritPath records to this JSONL file"
+    )
+    explain.add_argument("--chrome", help="dump a Chrome trace-event JSON file")
+    explain.add_argument(
+        "--speedscope", help="dump a speedscope phase flamegraph to this JSON file"
+    )
+    explain.set_defaults(run=_run_explain)
+
+    report = subparsers.add_parser(
+        "report",
+        help="rebuild phase tables and hit-rates from a span JSONL dump",
+        description=(
+            "Rebuild the Fig. 5(b) phase table and derived hit-rate ratios "
+            "from a spans.jsonl produced by --jsonl, without re-running the "
+            "simulation."
+        ),
+    )
     report.add_argument("spans", help="a spans.jsonl produced by --jsonl")
     report.add_argument("--root", help="root span name (default: most frequent root)")
     report.add_argument("--depth", type=int, default=1, help="phase nesting depth")
     report.set_defaults(run=_run_report)
 
     audit = subparsers.add_parser(
-        "audit", help="replay a dumped audit history through the ECF checkers"
+        "audit",
+        help="replay a dumped audit history through the ECF checkers",
+        description=(
+            "Replay an events.jsonl audit history through every ECF checker "
+            "and print the violation report; exit status 1 if any invariant "
+            "was violated."
+        ),
     )
     audit.add_argument("events", help="an events.jsonl produced by --audit-jsonl")
     audit.add_argument(

@@ -29,6 +29,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "derived_ratios",
+    "render_derived_ratios",
 ]
 
 # Bucket upper bounds (ms) spanning local service times (sub-ms) through
@@ -284,3 +286,48 @@ class MetricsRegistry:
                     f"{histogram.p50:>9.3f} {histogram.p95:>9.3f} {histogram.p99:>9.3f}"
                 )
         return "\n".join(lines)
+
+
+# -- derived ratios ---------------------------------------------------------
+
+
+def derived_ratios(registry: MetricsRegistry) -> List[Tuple[str, int, int, float]]:
+    """Hit-rates computed from every ``*.hits`` / ``*.misses`` counter pair.
+
+    Returns ``[(base_name, hits, misses, hit_fraction)]`` aggregated
+    across labels, sorted by name.  Covers ``music.fastpath`` (synchFlag
+    fast-path %), ``music.lease`` (leaseholder local-read %) and
+    ``music.cache`` (bounded-staleness cache %) plus any future pair
+    that follows the naming convention — raw counters render as-is, this
+    adds the ratio readers actually want from a bench log.
+    """
+    names = set()
+    for instrument in registry.instruments("counter"):
+        name = instrument.name  # type: ignore[attr-defined]
+        if name.endswith(".hits") or name.endswith(".misses"):
+            names.add(name.rsplit(".", 1)[0])
+    ratios: List[Tuple[str, int, int, float]] = []
+    for base in sorted(names):
+        hits = int(registry.total(f"{base}.hits"))
+        misses = int(registry.total(f"{base}.misses"))
+        total = hits + misses
+        if total == 0:
+            continue
+        ratios.append((base, hits, misses, hits / total))
+    return ratios
+
+
+def render_derived_ratios(registry: MetricsRegistry) -> str:
+    """The computed-ratios section for reports ("" when no pairs exist)."""
+    ratios = derived_ratios(registry)
+    if not ratios:
+        return ""
+    lines = [
+        f"{'derived ratio':<34} {'hits':>9} {'misses':>9} {'hit %':>8}",
+        "-" * 64,
+    ]
+    for base, hits, misses, fraction in ratios:
+        lines.append(
+            f"{base + '.hit_rate':<34} {hits:>9} {misses:>9} {100.0 * fraction:>7.1f}%"
+        )
+    return "\n".join(lines)

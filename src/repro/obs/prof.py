@@ -1,0 +1,293 @@
+"""An opt-in self-profiler for the DES kernel itself.
+
+Everything in ROADMAP item 1 ("make the simulator fast") needs a way to
+answer *where does the wall-clock go* — not simulated time, but real CPU
+time spent popping the event heap and running handlers.  This module
+profiles the simulator with zero cost when off:
+
+- ``Simulator.profiler`` is a **class attribute** defaulting to ``None``;
+  :meth:`SimProfiler.install` shadows the instance's ``step`` method
+  with a timing wrapper (``run``/``run_until_complete`` call
+  ``self.step()``, so the wrapper intercepts every event) and sets the
+  instance attribute.  Uninstalled simulators execute the exact original
+  bytecode — no branch, no check, nothing.
+- Allocation counters piggyback the same guard: ``Node.call_async`` and
+  ``Tracer.span`` bump ``profiler.rpc_envelopes`` / ``profiler.obs_spans``
+  only after a ``sim.profiler is not None`` test (one class-attribute
+  load on the off path).
+
+What it measures (all wall-clock via ``time.perf_counter``; simulated
+timings are untouched, so profiled runs stay bit-identical in sim time):
+
+- total events executed, total wall seconds, events/sec;
+- event-heap length high-water mark;
+- per-event-type handler time, keyed by the scheduled action's
+  ``__qualname__`` (``Process._bootstrap``, ``_schedule_callback`` resume
+  lambdas, ``_schedule_trigger`` timeout fires, ``Network.send`` delivery
+  lambdas, ...);
+- per-subsystem handler time, attributed by sampling the action's
+  closure/bound-object every ``sample_every`` events and mapping the
+  owning process/event name onto a subsystem (music / store / net /
+  client / topo / timer);
+- RPC envelope and obs-span allocation counts.
+
+``speedscope_samples()`` exports the buckets as weighted stacks for a
+flamegraph (:func:`repro.obs.export.write_speedscope`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim import Simulator
+
+__all__ = ["SimProfiler", "subsystem_of"]
+
+
+_SUBSYSTEM_RULES: Tuple[Tuple[str, str], ...] = (
+    # Substring of a process/event name -> subsystem.  First match wins;
+    # ordering puts the more specific names ahead of the generic ones
+    # (topology streams run *on* music/store nodes — "gossip:music-B-0"
+    # — so their prefixes must be tried before the node-role names).
+    ("gossip", "topo"),
+    ("topo", "topo"),
+    ("bootstrap-stream", "topo"),
+    ("merkle", "topo"),
+    ("hint", "topo"),
+    ("detector", "topo"),
+    ("rpc:", "net"),
+    ("serve:", "net"),
+    ("inbox", "net"),
+    ("nic", "net"),
+    ("cpu:", "net"),
+    ("lockstore", "store"),
+    ("storage", "store"),
+    ("store", "store"),
+    ("paxos", "store"),
+    ("wal", "store"),
+    ("compact", "store"),
+    ("music", "music"),
+    ("grant", "music"),
+    ("lock", "music"),
+    ("lease", "music"),
+    ("client", "client"),
+    ("fig5b", "client"),
+    ("worker", "client"),
+    ("bench", "client"),
+    ("Timeout", "timer"),
+)
+
+
+def subsystem_of(name: Optional[str]) -> str:
+    """Map a process/event name onto a coarse subsystem bucket."""
+    if not name:
+        return "other"
+    for needle, subsystem in _SUBSYSTEM_RULES:
+        if needle in name:
+            return subsystem
+    return "other"
+
+
+def _action_owner_name(action: Callable[[], None]) -> str:
+    """Best-effort name of whatever a scheduled action will run.
+
+    Heap actions are one of: a ``Process._bootstrap`` bound method (the
+    owner is the process), a ``_schedule_callback`` lambda whose closure
+    holds the callback (often ``Process._resume``) and the triggering
+    event, a ``_schedule_trigger`` ``fire`` closure holding the event
+    (usually a Timeout), or a ``call_at`` lambda (e.g. a network
+    delivery).  We look at the bound object first, then scan closure
+    cells for anything with a ``name``.
+    """
+    owner = getattr(action, "__self__", None)
+    if owner is not None:
+        name = getattr(owner, "name", None)
+        if name:
+            return str(name)
+        return type(owner).__name__
+    closure = getattr(action, "__closure__", None)
+    if closure:
+        fallback = ""
+        for cell in closure:
+            try:
+                value = cell.cell_contents
+            except ValueError:  # pragma: no cover - empty cell
+                continue
+            bound = getattr(value, "__self__", None)
+            if bound is not None:
+                name = getattr(bound, "name", None)
+                if name:
+                    return str(name)
+            name = getattr(value, "name", None)
+            if isinstance(name, str) and name:
+                fallback = fallback or name
+        if fallback:
+            return fallback
+    return getattr(action, "__qualname__", type(action).__name__)
+
+
+class SimProfiler:
+    """Wall-clock profile of one :class:`~repro.sim.Simulator`.
+
+    Use :meth:`install` / :meth:`uninstall`, or let
+    ``build_music(profile=True)`` wire it up.  All counters are plain
+    attributes so the hot path is attribute bumps, not method calls.
+    """
+
+    def __init__(self, sample_every: int = 8) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.events = 0
+        self.wall_s = 0.0
+        self.heap_high_water = 0
+        self.rpc_envelopes = 0
+        self.obs_spans = 0
+        # name -> [events, wall_s]; event types count every event, the
+        # subsystem attribution is sampled (see sample_every).
+        self.by_event_type: Dict[str, List[float]] = {}
+        self.by_subsystem: Dict[str, List[float]] = {}
+        self.sampled_events = 0
+        self.sampled_wall_s = 0.0
+        self._sim: Optional[Simulator] = None
+        self._tick = 0
+
+    # -- installation -------------------------------------------------------
+
+    def install(self, sim: Simulator) -> "SimProfiler":
+        """Attach to ``sim``: shadow its ``step`` and set ``sim.profiler``.
+
+        The wrapper replicates ``Simulator.step`` exactly (pop, advance
+        ``now``, run the action) so simulated behaviour — event order,
+        timestamps, RNG draws — is bit-identical with profiling on.
+        """
+        if self._sim is not None:
+            raise RuntimeError("profiler is already installed")
+        if "step" in sim.__dict__:
+            raise RuntimeError("simulator already has a step override")
+        self._sim = sim
+        sim.profiler = self  # type: ignore[attr-defined]
+
+        heappop = __import__("heapq").heappop
+        perf_counter = time.perf_counter
+        heap = sim._heap
+
+        def profiled_step() -> None:
+            depth = len(heap)
+            if depth > self.heap_high_water:
+                self.heap_high_water = depth
+            when, _seq, action = heappop(heap)
+            sim.now = when
+            began = perf_counter()
+            action()
+            elapsed = perf_counter() - began
+            self.events += 1
+            self.wall_s += elapsed
+            kind = getattr(action, "__qualname__", None) or type(action).__name__
+            bucket = self.by_event_type.get(kind)
+            if bucket is None:
+                bucket = self.by_event_type[kind] = [0, 0.0]
+            bucket[0] += 1
+            bucket[1] += elapsed
+            self._tick += 1
+            if self._tick >= self.sample_every:
+                self._tick = 0
+                subsystem = subsystem_of(_action_owner_name(action))
+                sub = self.by_subsystem.get(subsystem)
+                if sub is None:
+                    sub = self.by_subsystem[subsystem] = [0, 0.0]
+                sub[0] += 1
+                sub[1] += elapsed
+                self.sampled_events += 1
+                self.sampled_wall_s += elapsed
+
+        sim.step = profiled_step  # type: ignore[method-assign]
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the original ``step`` and detach."""
+        sim = self._sim
+        if sim is None:
+            return
+        sim.__dict__.pop("step", None)
+        if getattr(sim, "profiler", None) is self:
+            sim.profiler = None  # type: ignore[attr-defined]
+        self._sim = None
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def subsystem_shares(self) -> Dict[str, float]:
+        """Estimated share of handler wall time per subsystem, in [0, 1].
+
+        Based on the sampled subset; with ``sample_every=1`` it is exact.
+        """
+        total = self.sampled_wall_s
+        if total <= 0:
+            return {}
+        return {
+            subsystem: wall / total
+            for subsystem, (_count, wall) in sorted(self.by_subsystem.items())
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly dump (feeds the perf-trajectory bench records)."""
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "events_per_sec": self.events_per_sec,
+            "heap_high_water": self.heap_high_water,
+            "rpc_envelopes": self.rpc_envelopes,
+            "obs_spans": self.obs_spans,
+            "sample_every": self.sample_every,
+            "by_event_type": {
+                kind: {"events": count, "wall_s": wall}
+                for kind, (count, wall) in sorted(self.by_event_type.items())
+            },
+            "subsystem_shares": self.subsystem_shares(),
+        }
+
+    def render(self) -> str:
+        """An ASCII report of where the simulator's wall-clock went."""
+        lines = [
+            f"DES profile: {self.events} events in {self.wall_s:.3f}s wall "
+            f"({self.events_per_sec:,.0f} events/sec), "
+            f"heap high-water {self.heap_high_water}",
+            f"allocations: {self.rpc_envelopes} RPC envelopes, "
+            f"{self.obs_spans} obs spans",
+            "",
+            f"{'event type':<44} {'events':>9} {'wall ms':>10} {'share':>7}",
+            "-" * 74,
+        ]
+        wall = self.wall_s or 1.0
+        for kind, (count, elapsed) in sorted(
+            self.by_event_type.items(), key=lambda item: -item[1][1]
+        ):
+            lines.append(
+                f"{kind:<44} {count:>9} {1e3 * elapsed:>10.2f} "
+                f"{100.0 * elapsed / wall:>6.1f}%"
+            )
+        shares = self.subsystem_shares()
+        if shares:
+            lines.append("")
+            lines.append(
+                f"subsystem shares (sampled 1/{self.sample_every} events):"
+            )
+            for subsystem, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {subsystem:<12} {100.0 * share:>6.1f}%")
+        return "\n".join(lines)
+
+    def speedscope_samples(self) -> List[Tuple[Tuple[str, ...], float]]:
+        """Weighted stacks (``sim > subsystem`` and ``sim > event type``)
+        for :func:`repro.obs.export.write_speedscope` — a flamegraph of
+        the simulator's own wall-clock."""
+        samples: List[Tuple[Tuple[str, ...], float]] = []
+        for subsystem, (_count, wall) in sorted(self.by_subsystem.items()):
+            samples.append((("sim", f"subsystem:{subsystem}"), wall * 1e3))
+        for kind, (_count, wall) in sorted(self.by_event_type.items()):
+            samples.append((("sim", "events", kind), wall * 1e3))
+        return samples

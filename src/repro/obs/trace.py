@@ -183,6 +183,9 @@ class Tracer:
                     trace_id, parent_id = remote
         if trace_id is None:
             trace_id = next(self._ids)
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.obs_spans += 1
         return Span(self, trace_id, next(self._ids), parent_id, name, node, site, attrs)
 
     def current_span(self) -> Optional[Span]:

@@ -341,6 +341,15 @@ class Simulator:
     which keeps runs deterministic.
     """
 
+    # Self-profiler slot (see repro.obs.prof.SimProfiler).  A class
+    # attribute, not instance state: unprofiled simulators carry no
+    # extra per-instance data and `sim.profiler is None` checks resolve
+    # against the class.  SimProfiler.install() sets the instance
+    # attribute and shadows `step` with a timing wrapper; run()/
+    # run_until_complete() call `self.step()`, so the wrapper sees every
+    # event without this class changing.
+    profiler: Optional[Any] = None
+
     def __init__(self) -> None:
         self.now: float = 0.0
         # The process currently being stepped, if any (used to inherit

@@ -1,0 +1,91 @@
+"""The unified BENCH_*.json envelope: round-trip, validation, append."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    append_bench_entry,
+    bench_record,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.bench import results
+
+
+def test_record_envelope_shape():
+    record = bench_record(
+        "contention", config={"scale": "quick", "clients": 16},
+        seed=606, metrics={"speedup": 2.0},
+    )
+    assert record["schema"] == BENCH_SCHEMA
+    assert record["name"] == "contention"
+    assert record["seed"] == 606
+    assert record["timestamp"] is None  # the writer adds nothing implicit
+    assert record["config"]["clients"] == 16
+    assert record["metrics"]["speedup"] == 2.0
+
+
+def test_write_and_load_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setattr(results, "results_dir", lambda: tmp_path)
+    target = write_bench_json(
+        "demo", config={"scale": "quick"}, seed=1, metrics={"x": 1},
+    )
+    assert target == tmp_path / "BENCH_demo.json"
+    loaded = load_bench_json(target)
+    assert loaded == bench_record(
+        "demo", config={"scale": "quick"}, seed=1, metrics={"x": 1},
+    )
+
+
+def test_write_is_deterministic(tmp_path, monkeypatch):
+    """Same data twice -> byte-identical file (committed baselines stay
+    diff-clean)."""
+    monkeypatch.setattr(results, "results_dir", lambda: tmp_path)
+    kwargs = dict(config={"a": 1}, seed=2, metrics={"m": 3.5}, timestamp=10.0)
+    first = write_bench_json("demo", **kwargs).read_bytes()
+    second = write_bench_json("demo", **kwargs).read_bytes()
+    assert first == second
+
+
+def test_load_rejects_foreign_schema(tmp_path):
+    alien = tmp_path / "BENCH_old.json"
+    alien.write_text(json.dumps({"speedup": 2.0}))
+    with pytest.raises(ValueError, match="repro.bench/v1"):
+        load_bench_json(alien)
+
+
+def test_append_trajectory_grows_and_bounds(tmp_path, monkeypatch):
+    monkeypatch.setattr(results, "results_dir", lambda: tmp_path)
+    for index in range(5):
+        append_bench_entry(
+            "simcore", config={"scenario": "s", "scale": "smoke"},
+            seed=0, metrics={"i": index}, keep_last=3,
+        )
+    document = load_bench_json(tmp_path / "BENCH_simcore.json")
+    assert document["name"] == "simcore"
+    entries = document["entries"]
+    assert len(entries) == 3  # keep_last bound, oldest dropped
+    assert [e["metrics"]["i"] for e in entries] == [2, 3, 4]
+    assert all(e["schema"] == BENCH_SCHEMA for e in entries)
+
+
+def test_append_recovers_from_malformed_file(tmp_path, monkeypatch):
+    monkeypatch.setattr(results, "results_dir", lambda: tmp_path)
+    (tmp_path / "BENCH_simcore.json").write_text("{not json")
+    append_bench_entry(
+        "simcore", config={"scale": "smoke"}, seed=0, metrics={"i": 0},
+    )
+    document = load_bench_json(tmp_path / "BENCH_simcore.json")
+    assert len(document["entries"]) == 1
+
+
+def test_committed_results_carry_the_schema():
+    """Every committed BENCH_*.json in the repo is on the v1 envelope."""
+    committed = sorted(results.results_dir().glob("BENCH_*.json"))
+    assert committed, "no committed benchmark results found"
+    for path in committed:
+        document = load_bench_json(path)
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["name"]
