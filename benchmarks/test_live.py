@@ -1,0 +1,10 @@
+"""Regenerate the live-mode baseline (BENCH_live.json).
+
+A real 3-node localhost cluster (one OS process per node, asyncio TCP)
+runs >= 200 audited critical sections; the shape checks require zero
+merged-audit violations, exact final counters, and clean SIGTERM exits.
+"""
+
+
+def test_live_localcluster(regenerate):
+    regenerate("live_localcluster")

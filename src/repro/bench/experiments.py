@@ -120,6 +120,12 @@ def _params() -> Dict[str, Any]:
         "leases_think_ms": 2.0,
         "leases_warmup_ms": 1_000.0,
         "leases_window_ms": 4_000.0,
+        # Live axis: wall-clock run over real sockets.  4 x 50 = 200
+        # critical sections — the acceptance floor — at both scales;
+        # full doubles the client count.
+        "live_clients": 4,
+        "live_rounds": 50,
+        "live_keys": 2,
     }
     if scale_name() != "full":
         return quick
@@ -151,6 +157,8 @@ def _params() -> Dict[str, Any]:
             "contention_rounds": 8,
             "leases_workers": 12,
             "leases_window_ms": 10_000.0,
+            "live_clients": 8,
+            "live_keys": 4,
         }
     )
     return full
@@ -1474,6 +1482,95 @@ def read_scaleout() -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Live localhost-cluster axis
+# ---------------------------------------------------------------------------
+
+
+def live_localcluster() -> ExperimentResult:
+    """Live-mode axis: the MUSIC protocol over real asyncio sockets.
+
+    Boots a 3-node localhost cluster (one OS process per node via
+    ``python -m repro.live node``), drives the counter CS workload from
+    this process over real TCP, SIGTERMs the nodes, then merges every
+    node's audit slice and replays the full ECF checkers offline.
+
+    Unlike the DES axes this measures *wall-clock* throughput and
+    latency — numbers that move with the host machine — so the shape
+    checks pin correctness (>= 200 critical sections, zero violations,
+    exact final counters, clean exits), not speed.  Writes
+    ``benchmarks/results/BENCH_live.json``.
+    """
+    from ..live.harness import run_localcluster
+
+    p = _params()
+    n_clients = p["live_clients"]
+    rounds = p["live_rounds"]
+    keys = [f"live-key-{i}" for i in range(p["live_keys"])]
+    seed = 909
+    summary = run_localcluster(
+        n_nodes=3, n_clients=n_clients, keys=keys, rounds=rounds,
+        seed=seed, run_dir="live-runs/bench", timeout_s=300.0,
+    )
+    metrics = summary["metrics"]
+    completed = int(metrics["completed_cs"])
+    target_cs = n_clients * rounds
+    checks = [
+        (
+            f"live cluster completed >= 200 critical sections ({completed})",
+            completed >= 200 and completed == target_cs,
+        ),
+        (
+            "merged audit replay is clean "
+            f"({summary['audited_events']} events, "
+            f"{len(summary['violations'])} violations)",
+            summary["audited_events"] > 0 and not summary["violations"],
+        ),
+        (
+            "every increment serialized (final counters exact)",
+            summary["final_values"] == summary["expected_values"],
+        ),
+        (
+            f"all nodes drained and exited 0 on SIGTERM ({summary['exit_codes']})",
+            all(code == 0 for code in summary["exit_codes"]),
+        ),
+        (
+            f"no client-visible failures ({int(metrics['failed_cs'])})",
+            metrics["failed_cs"] == 0,
+        ),
+    ]
+    baseline = {
+        "scale": scale_name(),
+        "nodes": 3,
+        "clients": n_clients,
+        "rounds_per_client": rounds,
+        "keys": len(keys),
+        "metrics": metrics,
+    }
+    write_bench_json(
+        "live",
+        config={
+            "scale": scale_name(), "nodes": 3, "clients": n_clients,
+            "rounds_per_client": rounds, "keys": len(keys),
+            "transport": "asyncio-tcp", "clock": "wall",
+        },
+        seed=seed,
+        metrics=metrics,
+    )
+    text = render_table(
+        f"Live localhost cluster — 3 nodes, {n_clients} clients, "
+        f"{len(keys)} keys (asyncio TCP, wall clock)",
+        ["CS done", "CS/sec", "CS p50 (ms)", "CS p99 (ms)",
+         "acq p50 (ms)", "acq p99 (ms)", "audit"],
+        [[completed, round(metrics["cs_per_sec"], 1),
+          round(metrics["cs_p50_ms"], 2), round(metrics["cs_p99_ms"], 2),
+          round(metrics["acquire_p50_ms"], 2), round(metrics["acquire_p99_ms"], 2),
+          "clean" if not summary["violations"] else "VIOLATIONS"]],
+    )
+    return ExperimentResult("live_localcluster", "Live localhost cluster", text,
+                            {"baseline": baseline}, checks)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1497,6 +1594,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "elastic_scaling": elastic_scaling,
     "lock_contention": lock_contention,
     "read_scaleout": read_scaleout,
+    "live_localcluster": live_localcluster,
 }
 
 

@@ -12,11 +12,14 @@ CassaEV-style local operations at finite throughput).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
 
 from ..errors import RpcTimeout
-from ..sim import Mailbox, NodeClock, Process, Resource, Simulator
-from .network import Message, Network
+from ..sim import Mailbox, NodeClock, Process, Resource
+from .network import Message
+
+if TYPE_CHECKING:  # the environment seams; see repro.runtime
+    from ..runtime import Clock, Transport
 
 __all__ = ["Node", "DEFAULT_RPC_TIMEOUT_MS"]
 
@@ -28,12 +31,20 @@ Handler = Callable[[Message], Optional[Generator[Any, Any, None]]]
 
 
 class Node:
-    """A simulated host participating in the protocols."""
+    """A host participating in the protocols.
+
+    Written purely against the two environment seams of
+    :mod:`repro.runtime`: ``sim`` is any :class:`~repro.runtime.Clock`
+    (the DES simulator, or a ``repro.live`` wall clock) and ``network``
+    is any :class:`~repro.runtime.Transport` (the simulated network, or
+    asyncio TCP).  That is what lets every Node subclass run unmodified
+    in both modes.
+    """
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: "Clock",
+        network: "Transport",
         node_id: str,
         site: str,
         cores: int = 8,

@@ -19,9 +19,11 @@ latency decomposition directly from recorded spans.
 from .audit import (
     NULL_AUDIT,
     AuditEvent,
+    AuditRecorder,
     ECFAuditor,
     NullAudit,
     load_audit_jsonl,
+    merge_audit_events,
     render_span_tree,
     replay_audit,
     write_audit_jsonl,
@@ -66,6 +68,7 @@ from .trace import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
 
 __all__ = [
     "AuditEvent",
+    "AuditRecorder",
     "Counter",
     "CritPath",
     "DEFAULT_LATENCY_BUCKETS_MS",
@@ -97,6 +100,7 @@ __all__ = [
     "load_audit_jsonl",
     "load_critpath_jsonl",
     "load_jsonl",
+    "merge_audit_events",
     "network_events",
     "observe_phases",
     "phase_breakdown",

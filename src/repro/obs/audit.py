@@ -74,10 +74,12 @@ from .trace import SpanRecord
 
 __all__ = [
     "AuditEvent",
+    "AuditRecorder",
     "ECFAuditor",
     "NULL_AUDIT",
     "NullAudit",
     "load_audit_jsonl",
+    "merge_audit_events",
     "render_span_tree",
     "replay_audit",
     "write_audit_jsonl",
@@ -705,6 +707,50 @@ class ECFAuditor:
         for event in sorted(events, key=lambda e: e.seq):
             auditor.ingest(event)
         return auditor
+
+
+class AuditRecorder(ECFAuditor):
+    """Record-only auditor: one process's slice of a live execution.
+
+    A single process of a ``repro.live`` cluster observes only its own
+    decide points, so running the online checkers there would raise
+    false violations (it cannot see a rival site's grants).  Each
+    process therefore records its slice with this class, the harness
+    merges the slices with :func:`merge_audit_events`, and the full
+    stream replays through the real :class:`ECFAuditor` checkers
+    offline — same invariants, checked on a *real* execution.
+    """
+
+    def ingest(self, event: AuditEvent) -> None:
+        if len(self.events) < self.event_limit:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+        self._seq = max(self._seq, event.seq)
+
+
+def merge_audit_events(
+    histories: Iterable[Iterable[AuditEvent]],
+) -> List[AuditEvent]:
+    """Merge per-process audit histories into one re-sequenced stream.
+
+    Events order by their wall timestamp — every
+    :class:`~repro.live.LiveClock` of a cluster shares the epoch, so
+    ``t_ms`` values are mutually comparable — with (history index,
+    original seq) breaking ties.  Sequence numbers are reassigned so
+    :meth:`ECFAuditor.replay`'s seq sort reproduces exactly this order.
+    """
+    keyed = [
+        (event.t_ms, index, event.seq, event)
+        for index, events in enumerate(histories)
+        for event in events
+    ]
+    keyed.sort(key=lambda entry: entry[:3])
+    merged: List[AuditEvent] = []
+    for seq, (_, _, _, event) in enumerate(keyed, start=1):
+        event.seq = seq
+        merged.append(event)
+    return merged
 
 
 # -- JSONL persistence ------------------------------------------------------

@@ -11,9 +11,10 @@ undisturbed (asserted by ``tests/obs/test_overhead.py``).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..sim import Simulator
+if TYPE_CHECKING:  # the scheduler seam; see repro.runtime
+    from ..runtime import Clock
 from .audit import NULL_AUDIT, ECFAuditor
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .netobs import NetworkEvent, network_events
@@ -29,14 +30,17 @@ class Observability:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "Clock",
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         span_limit: int = 500_000,
+        span_id_base: int = 0,
     ) -> None:
+        # ``sim`` is any repro.runtime.Clock: the DES simulator or a
+        # live wall clock — spans and audit events stamp time from it.
         self.sim = sim
         self.metrics = metrics or MetricsRegistry()
-        self.tracer = tracer or Tracer(sim, limit=span_limit)
+        self.tracer = tracer or Tracer(sim, limit=span_limit, id_base=span_id_base)
         # The runtime ECF auditor; NULL_AUDIT until one is attached, so
         # emission sites stay on the null-object fast path.
         self.audit = NULL_AUDIT

@@ -1,10 +1,15 @@
-"""Sim-clock-aware distributed tracing.
+"""Clock-aware distributed tracing.
 
-Spans are stamped in **simulated** milliseconds, so a trace of a
-criticalPut is the paper's own cost breakdown: the root span is the API
-call, its children are the lock-store/data-store operations, and their
-children are the Paxos phases and replica-side handlers — a tree whose
-leaf durations are quorum RTTs and service times.
+Spans are stamped from the active :class:`repro.runtime.Clock` — the
+DES :class:`~repro.sim.Simulator` or the wall-clock
+:class:`repro.live.LiveClock` — so the same tracer serves both modes.
+Under the DES a trace of a criticalPut is the paper's own cost
+breakdown in simulated milliseconds: the root span is the API call, its
+children are the lock-store/data-store operations, and their children
+are the Paxos phases and replica-side handlers — a tree whose leaf
+durations are quorum RTTs and service times.  Under ``repro.live`` the
+same tree carries wall milliseconds since the cluster epoch, and the
+JSONL/Chrome/speedscope exporters render it unchanged.
 
 Context propagation uses two mechanisms:
 
@@ -27,9 +32,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from ..sim import Simulator
+if TYPE_CHECKING:  # the scheduler seam; see repro.runtime
+    from ..runtime import Clock
 
 __all__ = ["SpanRecord", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
@@ -153,12 +159,15 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, sim: Simulator, limit: int = 500_000) -> None:
+    def __init__(self, sim: "Clock", limit: int = 500_000, id_base: int = 0) -> None:
         self.sim = sim
         self.limit = limit
         self.spans: List[SpanRecord] = []
         self.dropped = 0
-        self._ids = itertools.count(1)
+        # ``id_base`` partitions the id space between the processes of a
+        # live cluster, so traces merged from several nodes never alias.
+        # The default (0) preserves the ids DES runs have always used.
+        self._ids = itertools.count(id_base + 1)
 
     # -- span creation ------------------------------------------------------
 

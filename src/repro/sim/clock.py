@@ -10,7 +10,10 @@ clock agreement.
 
 from __future__ import annotations
 
-from .core import Simulator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # any scheduler satisfying the Clock seam works here
+    from ..runtime import Clock
 
 __all__ = ["NodeClock"]
 
@@ -26,7 +29,7 @@ class NodeClock:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "Clock",
         offset: float = 0.0,
         drift: float = 0.0,
         tick: float = 1e-6,

@@ -1,0 +1,39 @@
+"""Shared plumbing for the live-runtime tests: free ports, tiny specs."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.live import localhost_spec
+from repro.live.harness import free_port_block  # noqa: F401  (re-export for tests)
+
+
+def free_ports(count: int) -> list:
+    """Ask the OS for ``count`` currently-free TCP ports."""
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def make_spec(n_nodes: int = 3, seed: int = 0, tmp_path=None, **kwargs):
+    """A localhost spec on OS-assigned ports (no cross-test collisions)."""
+    spec = localhost_spec(n_nodes=n_nodes, seed=seed, **kwargs)
+    for node, port in zip(spec.nodes, free_ports(n_nodes)):
+        node.port = port
+    if tmp_path is not None:
+        spec.run_dir = str(tmp_path / "run")
+    return spec
+
+
+@pytest.fixture
+def live_spec(tmp_path):
+    return make_spec(n_nodes=3, tmp_path=tmp_path)
