@@ -126,6 +126,12 @@ def _params() -> Dict[str, Any]:
         "live_clients": 4,
         "live_rounds": 50,
         "live_keys": 2,
+        # Transaction-regime axis: three engines x three Zipfian
+        # contention levels over a small key population (2-4 keys/txn).
+        "txn_clients": 8,
+        "txn_per_client": 6,
+        "txn_keys": 24,
+        "txn_thetas": [0.1, 0.7, 0.99],
     }
     if scale_name() != "full":
         return quick
@@ -159,6 +165,8 @@ def _params() -> Dict[str, Any]:
             "leases_window_ms": 10_000.0,
             "live_clients": 8,
             "live_keys": 4,
+            "txn_clients": 16,
+            "txn_per_client": 10,
         }
     )
     return full
@@ -1571,6 +1579,169 @@ def live_localcluster() -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+def txn_regimes() -> ExperimentResult:
+    """Transaction-regime axis (DESIGN.md §13): MUSIC locks vs epoch OCC
+    vs SSI under Zipfian contention.
+
+    Each engine x contention cell runs the *same* seeded ``txn_mix``
+    workload (2-4 keys per transaction, half read-only keys, integer
+    read-modify-write on the rest) on a fresh deployment, through the
+    retrying :class:`~repro.txn.TransactionExecutor`.  Every cell's
+    committed history must pass the
+    :class:`~repro.obs.SerializabilityChecker` — regimes are compared on
+    checked histories — and the store's final cell (value, stamp) must
+    match the last committed write of each key's version chain.  Writes
+    ``benchmarks/results/BENCH_txn.json``; the headline is the
+    commits/sec crossover table.
+    """
+    from ..obs import SerializabilityChecker
+    from ..workloads import txn_mix
+
+    p = _params()
+    n_clients = p["txn_clients"]
+    per_client = p["txn_per_client"]
+    key_count = p["txn_keys"]
+    thetas = p["txn_thetas"]
+    seed = 909
+
+    def measure(engine_name: str, theta: float) -> Dict[str, Any]:
+        deployment = build_music(seed=seed, txn=True)
+        sim = deployment.sim
+        sites = deployment.profile.site_names
+        engine = deployment.txn.engine(engine_name)
+        mix = txn_mix((2, 4), read_fraction=0.5, zipf_theta=theta)
+        spec_rng = deployment.streams.stream("txn-bench-specs")
+        results: List[Any] = []
+
+        def worker(client, specs):
+            executor = deployment.txn.executor(engine, client=client)
+            for spec in specs:
+                result = yield from executor.run(spec)
+                results.append(result)
+
+        procs = []
+        for index in range(n_clients):
+            client = deployment.client(sites[index % len(sites)])
+            specs = list(mix.transactions(per_client, key_count, spec_rng))
+            procs.append(sim.process(worker(client, specs)))
+        for proc in procs:
+            sim.run_until_complete(proc, limit=1e10)
+        makespan_ms = sim.now
+        engine.stop()
+
+        committed = [r for r in results if r.committed]
+        attempts = sum(r.attempts for r in results)
+        aborts = sum(r.aborts for r in results)
+        latencies = [r.latency_ms for r in committed]
+
+        checker = SerializabilityChecker()
+        violations = checker.check(engine.committed)
+
+        # Store consistency: the final stored (value, stamp) of every
+        # key must equal the last committed write of its version chain.
+        last_writes: Dict[str, Tuple[Any, Any]] = {}
+        for record in sorted(engine.committed, key=lambda r: r.commit_seq):
+            for key, stamp in record.writes.items():
+                last_writes[key] = (key, stamp)
+        mismatches: List[str] = []
+
+        def read_back():
+            client = deployment.client(sites[0])
+            for key, stamp in last_writes.values():
+                _value, stored = yield from client.txn_read(key)
+                if stored != stamp:
+                    mismatches.append(key)
+
+        sim.run_until_complete(sim.process(read_back()), limit=1e10)
+        summary = summarize(latencies) if latencies else None
+        return {
+            "engine": engine_name,
+            "zipf_theta": theta,
+            "transactions": len(results),
+            "committed": len(committed),
+            "failed": len(results) - len(committed),
+            "attempts": attempts,
+            "aborts": aborts,
+            "abort_rate": round(aborts / attempts, 4) if attempts else 0.0,
+            "makespan_ms": round(makespan_ms, 3),
+            "commits_per_sec": round(
+                len(committed) / makespan_ms * 1000.0, 4
+            ) if makespan_ms else 0.0,
+            "commit_latency_p50_ms": round(summary.p50, 3) if summary else None,
+            "commit_latency_p99_ms": round(summary.p99, 3) if summary else None,
+            "serializability_violations": len(violations),
+            "store_mismatches": len(mismatches),
+        }
+
+    engines = ["locking", "occ", "ssi"]
+    cells = [measure(engine, theta) for engine in engines for theta in thetas]
+    by_theta: Dict[float, List[Dict[str, Any]]] = {}
+    for cell in cells:
+        by_theta.setdefault(cell["zipf_theta"], []).append(cell)
+    winners = {
+        theta: max(rows, key=lambda row: row["commits_per_sec"])["engine"]
+        for theta, rows in by_theta.items()
+    }
+
+    checks = [
+        (
+            "every engine x contention cell passes the serializability "
+            "checker",
+            all(cell["serializability_violations"] == 0 for cell in cells),
+        ),
+        (
+            "every transaction eventually committed (bounded retry "
+            "sufficed)",
+            all(cell["failed"] == 0 for cell in cells),
+        ),
+        (
+            "store final state matches each key's last committed write",
+            all(cell["store_mismatches"] == 0 for cell in cells),
+        ),
+        (
+            "contention costs throughput: every engine is slower at "
+            f"theta={thetas[-1]} than at theta={thetas[0]}",
+            all(
+                next(c for c in cells if c["engine"] == e
+                     and c["zipf_theta"] == thetas[-1])["commits_per_sec"]
+                < next(c for c in cells if c["engine"] == e
+                       and c["zipf_theta"] == thetas[0])["commits_per_sec"]
+                for e in engines
+            ),
+        ),
+    ]
+    write_bench_json(
+        "txn",
+        config={
+            "scale": scale_name(), "clients": n_clients,
+            "txns_per_client": per_client, "keys": key_count,
+            "keys_per_txn": [2, 4], "read_fraction": 0.5,
+            "zipf_thetas": thetas, "engines": engines,
+        },
+        seed=seed,
+        metrics={"cells": cells, "winners_by_theta": {
+            str(theta): engine for theta, engine in winners.items()
+        }},
+    )
+    text = render_table(
+        f"Transaction regimes — {n_clients} clients, {key_count} keys, "
+        "2-4 keys/txn (lUs)",
+        ["engine", "theta", "commits/sec", "abort rate", "p50 (ms)",
+         "p99 (ms)", "serializable"],
+        [[cell["engine"], cell["zipf_theta"], cell["commits_per_sec"],
+          cell["abort_rate"], cell["commit_latency_p50_ms"],
+          cell["commit_latency_p99_ms"],
+          "yes" if cell["serializability_violations"] == 0 else "NO"]
+         for cell in cells],
+    )
+    text += "\nwinner by contention level: " + ", ".join(
+        f"theta={theta}: {winners[theta]}" for theta in thetas
+    )
+    return ExperimentResult("txn_regimes", "Concurrency-control regimes", text,
+                            {"cells": cells, "winners": winners}, checks)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1595,6 +1766,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "lock_contention": lock_contention,
     "read_scaleout": read_scaleout,
     "live_localcluster": live_localcluster,
+    "txn_regimes": txn_regimes,
 }
 
 

@@ -221,6 +221,68 @@ class MusicClient:
         value = yield from self._with_failover("criticalGet", attempt)
         return value
 
+    def critical_put_stamped(
+        self, key: str, lock_ref: int, value: Any
+    ) -> Generator[Any, Any, Tuple[float, str]]:
+        """criticalPut that also returns the acknowledged write's stamp.
+
+        The replica records the stamp right before acking (no yields in
+        between), so capturing it inside the attempt closure reads the
+        stamp of *this* attempt even across failover.
+        """
+
+        def attempt(replica) -> Generator[Any, Any, Tuple[float, str]]:
+            done = yield from replica.critical_put(key, lock_ref, value)
+            if not done:
+                raise QuorumUnavailable("local lock store behind; retry")
+            if self.config.read_leases:
+                self._critical_watermarks[(key, lock_ref)] = replica.last_put_stamp
+            return replica.last_put_stamp
+
+        stamp = yield from self._with_failover("criticalPut", attempt)
+        return stamp
+
+    def critical_get_stamped(
+        self, key: str, lock_ref: int
+    ) -> Generator[Any, Any, Tuple[Any, Optional[Tuple[float, str]]]]:
+        """criticalGet returning ``(value, stamp)`` — the version token
+        the transaction layer records in read sets (None = never
+        written)."""
+        min_stamp = (
+            self._critical_watermarks.get((key, lock_ref))
+            if self.config.read_leases
+            else None
+        )
+
+        def attempt(replica) -> Generator[Any, Any, Any]:
+            ok, value = yield from replica.critical_get(
+                key, lock_ref, min_stamp=min_stamp
+            )
+            if not ok:
+                raise QuorumUnavailable("local lock store behind; retry")
+            return (value, replica.last_get_stamp)
+
+        result = yield from self._with_failover("criticalGet", attempt)
+        return result
+
+    def txn_read(
+        self, key: str
+    ) -> Generator[Any, Any, Tuple[Any, Optional[Tuple[float, str]]]]:
+        """Unguarded quorum read of ``(value, stamp)`` (optimistic-engine
+        read path; see :meth:`MusicReplica.quorum_get`)."""
+        result = yield from self._with_failover(
+            "txnRead", lambda replica: replica.quorum_get(key)
+        )
+        return result
+
+    def txn_write(
+        self, key: str, value: Any, stamp: Tuple[float, str]
+    ) -> Generator[Any, Any, None]:
+        """Unguarded quorum write under an engine-minted stamp."""
+        yield from self._with_failover(
+            "txnWrite", lambda replica: replica.quorum_put(key, value, stamp)
+        )
+
     def release_lock(self, key: str, lock_ref: int) -> Generator[Any, Any, bool]:
         if self.config.read_leases:
             self._critical_watermarks.pop((key, lock_ref), None)

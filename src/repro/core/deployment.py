@@ -42,6 +42,9 @@ class MusicDeployment:
     # The DES self-profiler (repro.obs.SimProfiler); None unless built
     # with ``profile=True``.
     profiler: Optional[object] = None
+    # The transaction layer (repro.txn.TxnRuntime); None unless built
+    # with ``txn=True``.
+    txn: Optional[object] = None
     _client_seq: Dict[str, int] = field(default_factory=dict)
 
     def replica_at(self, site: str) -> MusicReplica:
@@ -97,6 +100,7 @@ def build_music(
     fast_locks: Optional[bool] = None,
     read_leases: Optional[bool] = None,
     profile: bool = False,
+    txn: bool = False,
 ) -> MusicDeployment:
     """Build and start a MUSIC deployment on a fresh (or given) simulator.
 
@@ -134,6 +138,14 @@ def build_music(
     cache — together with ``push_grants`` (the invalidation channel).
     The default leaves the tier entirely unbuilt with bit-identical
     timings.
+
+    ``txn=True`` attaches the transaction layer of DESIGN.md §13
+    (returned as ``deployment.txn``, a :class:`~repro.txn.TxnRuntime`):
+    engine/executor factories for the three concurrency-control regimes
+    (MUSIC locks, epoch OCC, SSI).  Attaching the runtime allocates
+    nothing on the simulator — no processes, events, or randomness —
+    so the default (and even ``txn=True`` with no transactions run)
+    keeps simulated timings bit-identical.
 
     ``profile=True`` installs a :class:`~repro.obs.SimProfiler` on the
     simulator (returned as ``deployment.profiler``): wall-clock cost of
@@ -232,9 +244,14 @@ def build_music(
             peer.node_id for peer in replicas if peer is not replica
         ]
 
-    return MusicDeployment(
+    deployment = MusicDeployment(
         sim=sim, network=network, profile=latency_profile, store=store,
         replicas=replicas, detectors=detectors, config=music_config,
         streams=streams, obs=network.obs, auditor=auditor,
         topology=topology, profiler=profiler,
     )
+    if txn:
+        from ..txn import TxnRuntime
+
+        deployment.txn = TxnRuntime(deployment)
+    return deployment

@@ -16,7 +16,7 @@ released and the caller may retry with fresh lockRefs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from ..errors import NotLockHolder, ReproError
 from .client import MusicClient
@@ -126,6 +126,8 @@ def enter_multi(
     timeout_ms: Optional[float] = None,
     max_attempts: int = 10,
     read_only: bool = False,
+    retries: Optional[int] = None,
+    on_ref: Optional[Callable[[str, int], None]] = None,
 ) -> Generator[Any, Any, MultiKeyCriticalSection]:
     """Acquire locks on all ``keys`` in lexicographic order.
 
@@ -133,6 +135,18 @@ def enter_multi(
     we wait for a later one), every held lock is released and the whole
     acquisition restarts with fresh lockRefs.  Raises after
     ``max_attempts`` restarts or when ``timeout_ms`` elapses.
+
+    ``retries=N`` opts into the transactional retry discipline instead:
+    up to ``N`` restarts (``N + 1`` attempts total) with fresh lockRefs
+    and *jittered exponential* backoff between restarts, so two clients
+    repeatedly colliding on overlapping key sets desynchronise instead
+    of re-colliding in lockstep.  The default (``retries=None``) keeps
+    the original fixed-interval behaviour.
+
+    ``on_ref`` is called synchronously as ``on_ref(key, lock_ref)`` the
+    moment each lockRef is minted (including re-mints on restart) — the
+    hook the locking engine's waits-for graph uses to bind queue
+    entries to transactions.
 
     ``read_only=True`` returns a :class:`ReadOnlyMultiKeySection`
     instead: puts are rejected and a key lost to preemption is re-pinned
@@ -142,8 +156,9 @@ def enter_multi(
         raise ValueError("a multi-key critical section needs at least one key")
     ordered = sorted(set(keys))
     deadline = None if timeout_ms is None else client.sim.now + timeout_ms
+    attempts = max_attempts if retries is None else max(1, retries + 1)
 
-    for _attempt in range(max_attempts):
+    for attempt in range(attempts):
         held: Dict[str, int] = {}
         aborted = False
         for key in ordered:
@@ -152,6 +167,8 @@ def enter_multi(
                 remaining = max(0.0, deadline - client.sim.now)
             try:
                 lock_ref = yield from client.create_lock_ref(key)
+                if on_ref is not None:
+                    on_ref(key, lock_ref)
                 granted = yield from client.acquire_lock_blocking(
                     key, lock_ref, timeout_ms=remaining
                 )
@@ -177,11 +194,16 @@ def enter_multi(
                 return ReadOnlyMultiKeySection(client, held)
             return MultiKeyCriticalSection(client, held)
         yield from _release_all(client, held)
-        yield client.sim.timeout(client.config.acquire_poll_interval_ms)
+        if retries is None:
+            yield client.sim.timeout(client.config.acquire_poll_interval_ms)
+        else:
+            base = client.config.acquire_poll_interval_ms * (2 ** attempt)
+            backoff = min(base, client.config.acquire_poll_max_ms)
+            yield client.sim.timeout(backoff * (1.0 + client._rng.random()))
 
     raise ReproError(
         f"multi-key acquisition of {ordered} kept losing locks after "
-        f"{max_attempts} attempts"
+        f"{attempts} attempts"
     )
 
 

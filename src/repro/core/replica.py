@@ -110,6 +110,10 @@ class MusicReplica(Node):
         # Stamp of the last acknowledged critical write through this
         # replica (the client-side session watermark for lease serves).
         self.last_put_stamp: Optional[Tuple[float, str]] = None
+        # Stamp of the value served by the last critical/quorum read
+        # through this replica (the version token the transaction layer
+        # records in its read sets; None = never-written key).
+        self.last_get_stamp: Optional[Tuple[float, str]] = None
         # Service-layer cache invalidation hooks, called with the key on
         # every observed release push (see PortalFrontend).
         self._release_listeners: list = []
@@ -334,6 +338,7 @@ class MusicReplica(Node):
                 self.data_table, key, VALUE_ROW, {"value": value},
                 self._stamp(lock_ref, offset), consistency=Consistency.QUORUM,
             )
+            self.last_put_stamp = self._stamp(lock_ref, offset)
             audit = self.obs.audit
             if audit.enabled:
                 audit.emit(
@@ -421,8 +426,11 @@ class MusicReplica(Node):
                 self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.QUORUM
             )
             value = None
+            stamp = None
             if VALUE_ROW in rows:
                 value = rows[VALUE_ROW].visible_values().get("value")
+                stamp = rows[VALUE_ROW].cell_stamp("value")
+            self.last_get_stamp = stamp
             audit = self.obs.audit
             if audit.enabled:
                 audit.emit(
@@ -455,6 +463,7 @@ class MusicReplica(Node):
             )
         view = self.lease_manager.view(key, lock_ref)
         if self._lease_serviceable(view, min_stamp):
+            self.last_get_stamp = view.value_stamp
             self.counters["lease_hits"] += 1
             self.obs.metrics.counter("music.lease.hits", node=self.node_id).inc()
             audit = self.obs.audit
@@ -479,6 +488,7 @@ class MusicReplica(Node):
         if VALUE_ROW in rows:
             value = rows[VALUE_ROW].visible_values().get("value")
             value_stamp = rows[VALUE_ROW].cell_stamp("value")
+        self.last_get_stamp = value_stamp
         flag_stamp = None
         if SYNCH_ROW in rows:
             flag_stamp = rows[SYNCH_ROW].cell_stamp("flag")
@@ -769,6 +779,43 @@ class MusicReplica(Node):
         if VALUE_ROW not in rows:
             return None
         return rows[VALUE_ROW].visible_values().get("value")
+
+    def quorum_get(
+        self, key: str
+    ) -> Generator[Any, Any, Tuple[Any, Optional[Tuple[float, str]]]]:
+        """Quorum read of ``(value, stamp)`` with no lock guard.
+
+        The optimistic transaction engines (``repro.txn``) use this for
+        snapshot/read-set reads: they need the version *stamp* of what
+        they saw (to validate against at commit) but hold no lock, so
+        the criticalGet guard does not apply.
+        """
+        rows = yield from self.coordinator.get(
+            self.data_table, key, clustering=VALUE_ROW, consistency=Consistency.QUORUM
+        )
+        value = None
+        stamp = None
+        if VALUE_ROW in rows:
+            value = rows[VALUE_ROW].visible_values().get("value")
+            stamp = rows[VALUE_ROW].cell_stamp("value")
+        self.last_get_stamp = stamp
+        return (value, stamp)
+
+    def quorum_put(
+        self, key: str, value: Any, stamp: Tuple[float, str]
+    ) -> Generator[Any, Any, None]:
+        """Quorum write under a caller-supplied stamp, no lock guard.
+
+        The transaction engines mint their own monotonic stamps (from a
+        commit sequence, or from the epoch sealer's CS lockRef space)
+        and install validated writes through this path — same store
+        machinery as criticalPut, different fencing discipline.
+        """
+        yield from self.coordinator.put(
+            self.data_table, key, VALUE_ROW, {"value": value}, stamp,
+            consistency=Consistency.QUORUM,
+        )
+        self.last_put_stamp = stamp
 
     def get_bounded(
         self, key: str, staleness_ms: float

@@ -20,8 +20,10 @@ from .audit import (
     NULL_AUDIT,
     AuditEvent,
     AuditRecorder,
+    CommittedTxn,
     ECFAuditor,
     NullAudit,
+    SerializabilityChecker,
     load_audit_jsonl,
     merge_audit_events,
     render_span_tree,
@@ -69,6 +71,7 @@ from .trace import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
 __all__ = [
     "AuditEvent",
     "AuditRecorder",
+    "CommittedTxn",
     "Counter",
     "CritPath",
     "DEFAULT_LATENCY_BUCKETS_MS",
@@ -88,6 +91,7 @@ __all__ = [
     "PhaseBreakdown",
     "PhaseSlice",
     "PhaseStats",
+    "SerializabilityChecker",
     "SimProfiler",
     "Span",
     "SpanRecord",

@@ -52,6 +52,17 @@ phase                     what the time is
 ``other``                 anything the rules above do not recognise
 ========================  ====================================================
 
+Transaction roots (``--root txn.cs``; the repro.txn executor) use a
+coarser four-phase taxonomy — every slice under a ``txn.*`` marker span
+buckets to that marker, whatever protocol work runs beneath it:
+
+========================  ====================================================
+``txn.execute``           begin (lock acquisition) + body reads
+``txn.validate``          commit-time validation (OCC/SSI)
+``txn.commit_cs``         write installation / the group-commit wait
+``txn.abort_backoff``     the jittered retry sleep after an abort
+========================  ====================================================
+
 ``extract_critpaths`` returns one :class:`CritPath` per root span;
 ``explain_table`` renders the tail-latency explainer
 (``python -m repro.obs explain``); ``observe_phases`` feeds per-phase
@@ -69,6 +80,7 @@ from .trace import SpanRecord
 __all__ = [
     "PhaseSlice",
     "CritPath",
+    "TXN_ROOT_SPAN",
     "extract_critpaths",
     "observe_phases",
     "phase_summary",
@@ -80,6 +92,13 @@ __all__ = [
 ]
 
 ROOT_SPAN = "music.cs"
+TXN_ROOT_SPAN = "txn.cs"
+
+# The transaction-layer phase markers (repro.txn's executor/engines).
+# Under a txn.cs root every interval buckets to its innermost marker.
+_TXN_PHASES = frozenset(
+    {"txn.execute", "txn.validate", "txn.commit_cs", "txn.abort_backoff"}
+)
 
 # Span-name groups used by the classifier.
 _MINT_NAMES = frozenset(
@@ -232,6 +251,11 @@ def _region(names: frozenset) -> str:
 def _classify_leaf(chain: Sequence[SpanRecord]) -> str:
     """Phase of an interval whose deepest active span is ``chain[-1]``."""
     owner = chain[-1]
+    if chain[0].name == TXN_ROOT_SPAN:
+        for span in reversed(chain):
+            if span.name in _TXN_PHASES:
+                return span.name
+        return "client.backoff"  # sliver directly under the txn root
     names = frozenset(span.name for span in chain)
     region = _region(names)
     name = owner.name
@@ -285,6 +309,8 @@ def _classify_gap(
     chain: Sequence[SpanRecord],
 ) -> str:
     """Phase of a gap inside ``parent`` where no child span is active."""
+    if chain[0].name == TXN_ROOT_SPAN:
+        return _classify_leaf(chain)
     if parent.name == ROOT_SPAN or parent.parent_id is None:
         # Between the root's direct children.  Acquire polling (backoff
         # sleeps, push waits) shows up as gaps around acquireLock

@@ -1,0 +1,260 @@
+"""The MUSIC-locks engine: strict 2PL over multi-key critical sections.
+
+A transaction's key set is locked up front via
+:func:`~repro.core.multikey.enter_multi` (lexicographic order — the
+paper's deadlock-avoidance rule), reads and writes go through the
+critical operations under the held lockRefs, and commit is simply
+"install the buffered writes, then exit the section".  A forced release
+mid-transaction surfaces as :class:`~repro.txn.engine.TxnAborted`
+(reason ``forced_release``): the executor releases the surviving locks
+and retries with fresh lockRefs.
+
+Deadlock-freedom is not assumed — it is *checked*.  The
+:class:`WaitsForGraph` subscribes to the runtime auditor's event stream
+(``enqueue`` / ``grant`` / ``release`` / ``forced_release``, the same
+events the ECF auditor consumes) and maintains the classical waits-for
+graph: an edge T₁ → T₂ whenever a lockRef bound to T₁ waits in a queue
+whose granted head is bound to T₂.  The graph must stay acyclic at
+every grant and enqueue; a cycle is recorded as a ``Deadlock``
+violation on the auditor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..core.multikey import MultiKeyCriticalSection, enter_multi
+from ..errors import NotLockHolder, ReproError
+from ..obs.audit import AuditEvent, CommittedTxn
+from ..verification.invariants import ViolationRecord
+from .engine import Stamp, Transaction, TxnAborted, TxnEngine
+
+__all__ = ["LockingEngine", "LockingTxn", "WaitsForGraph"]
+
+
+class WaitsForGraph:
+    """Waits-for-graph deadlock detection over lockstore audit events.
+
+    Only lockRefs explicitly bound to a transaction (via :meth:`bind`,
+    wired through ``enter_multi``'s ``on_ref`` hook) appear in the
+    graph; other lock users of the deployment (leases, the OCC epoch
+    key, plain clients) are ignored.
+    """
+
+    invariant = "Deadlock"
+
+    def __init__(self, auditor: Optional[Any] = None) -> None:
+        self.auditor = auditor
+        self._txn_of: Dict[Tuple[str, int], str] = {}  # (key, ref) -> txn
+        self._waiting: Dict[str, Set[int]] = {}        # key -> queued refs
+        self._granted: Dict[str, Optional[int]] = {}   # key -> head ref
+        self.violations: List[ViolationRecord] = []
+        self.checks = 0
+
+    def bind(self, key: str, lock_ref: int, txn_id: str) -> None:
+        self._txn_of[(key, lock_ref)] = txn_id
+
+    def on_event(self, event: AuditEvent) -> None:
+        kind = event.kind
+        if kind not in ("enqueue", "grant", "release", "forced_release"):
+            return
+        key, ref = event.key, event.lock_ref
+        if key is None or ref is None:
+            return
+        if kind == "enqueue":
+            if self._granted.get(key) != ref:
+                self._waiting.setdefault(key, set()).add(ref)
+                self._check(event)
+        elif kind == "grant":
+            self._waiting.get(key, set()).discard(ref)
+            self._granted[key] = ref
+            self._check(event)
+        else:  # release / forced_release: the ref leaves the queue
+            self._waiting.get(key, set()).discard(ref)
+            if self._granted.get(key) == ref:
+                self._granted[key] = None
+            self._txn_of.pop((key, ref), None)
+
+    # -- the invariant -----------------------------------------------------
+
+    def edges(self) -> Dict[str, Set[str]]:
+        """Current waits-for edges: waiting txn -> granted-holder txn."""
+        out: Dict[str, Set[str]] = {}
+        for key, refs in self._waiting.items():
+            head = self._granted.get(key)
+            if head is None:
+                continue
+            holder = self._txn_of.get((key, head))
+            if holder is None:
+                continue
+            for ref in refs:
+                waiter = self._txn_of.get((key, ref))
+                if waiter is not None and waiter != holder:
+                    out.setdefault(waiter, set()).add(holder)
+        return out
+
+    def find_cycle(self) -> Optional[List[str]]:
+        edges = self.edges()
+        color: Dict[str, int] = {}  # 1 = on stack, 2 = done
+        for start in sorted(edges):
+            if color.get(start):
+                continue
+            stack: List[Tuple[str, List[str]]] = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                if color.get(node) == 2:
+                    continue
+                color[node] = 1
+                advanced = False
+                for succ in sorted(edges.get(node, ())):
+                    if succ in path:
+                        return path[path.index(succ):] + [succ]
+                    if color.get(succ) != 2:
+                        stack.append((succ, path + [succ]))
+                        advanced = True
+                if not advanced:
+                    color[node] = 2
+        return None
+
+    def _check(self, event: AuditEvent) -> None:
+        self.checks += 1
+        cycle = self.find_cycle()
+        if cycle is None:
+            return
+        record = ViolationRecord(
+            invariant=self.invariant,
+            source="runtime",
+            detail=(
+                "waits-for cycle " + " -> ".join(cycle)
+                + f" (triggered by {event.label()} on {event.key!r})"
+            ),
+            key=event.key,
+            lock_ref=event.lock_ref,
+            time_ms=event.t_ms,
+            trace=[event.label()],
+        )
+        self.violations.append(record)
+        if self.auditor is not None:
+            self.auditor.record_violation(record)
+
+
+class LockingEngine(TxnEngine):
+    """Pessimistic engine: MUSIC multi-key critical sections per txn."""
+
+    name = "locking"
+
+    # Stamp space for the drop-a-lock mutant's unguarded writes (test
+    # subclass); far above any real lockRef so chains stay ordered.
+    _MUTANT_REF_BASE = 1_000_000
+
+    def __init__(
+        self,
+        deployment: Any,
+        lock_timeout_ms: float = 120_000.0,
+        acquire_retries: int = 4,
+    ) -> None:
+        super().__init__(deployment)
+        self.lock_timeout_ms = lock_timeout_ms
+        self.acquire_retries = acquire_retries
+        self.waits_for: Optional[WaitsForGraph] = None
+        self._mutant_seq = 0
+        if deployment.auditor is not None:
+            self.attach_invariants(deployment.auditor)
+
+    def attach_invariants(self, auditor: Any) -> None:
+        """Subscribe the waits-for deadlock checker to ``auditor``."""
+        if self.waits_for is None:
+            self.waits_for = WaitsForGraph(auditor)
+            auditor.add_listener(self.waits_for.on_event)
+
+    def begin(self, client: Any, spec: Any) -> Generator[Any, Any, "LockingTxn"]:
+        txn = LockingTxn(self, client, self.next_txn_id(client), spec)
+        yield from txn._enter()
+        return txn
+
+    # -- hooks (overridden by the seeded mutation in tests) ----------------
+
+    def _lock_keys(self, spec: Any) -> List[str]:
+        return sorted(spec.keys)
+
+    def _mutant_stamp(self) -> Stamp:
+        """A monotone stamp for writes the mutant does without a lock."""
+        self._mutant_seq += 1
+        period = self.deployment.config.period_ms
+        return ((self._MUTANT_REF_BASE + self._mutant_seq) * period, "txn-unlocked")
+
+
+class LockingTxn(Transaction):
+    def __init__(self, engine: LockingEngine, client: Any, txn_id: str, spec: Any) -> None:
+        super().__init__(engine, client, txn_id, spec)
+        self.section: Optional[MultiKeyCriticalSection] = None
+
+    def _enter(self) -> Generator[Any, Any, None]:
+        engine: LockingEngine = self.engine  # type: ignore[assignment]
+        on_ref = None
+        if engine.waits_for is not None:
+            graph, txn_id = engine.waits_for, self.txn_id
+            on_ref = lambda key, ref: graph.bind(key, ref, txn_id)  # noqa: E731
+        try:
+            self.section = yield from enter_multi(
+                self.client,
+                engine._lock_keys(self.spec),
+                timeout_ms=engine.lock_timeout_ms,
+                retries=engine.acquire_retries,
+                on_ref=on_ref,
+            )
+        except NotLockHolder as error:
+            raise TxnAborted("forced_release", str(error))
+        except ReproError as error:
+            raise TxnAborted("lock_acquire", str(error))
+
+    def _read(self, key: str) -> Generator[Any, Any, Any]:
+        assert self.section is not None
+        if key in self.section.lock_refs:
+            try:
+                value, stamp = yield from self.client.critical_get_stamped(
+                    key, self.section.lock_refs[key]
+                )
+            except NotLockHolder as error:
+                raise TxnAborted("forced_release", str(error))
+        else:
+            # Only reachable under the drop-a-lock mutation: the key was
+            # excluded from the lock set, so read unguarded.
+            value, stamp = yield from self.client.txn_read(key)
+        self._note_read(key, value, stamp)
+        return value
+
+    def commit(self) -> Generator[Any, Any, CommittedTxn]:
+        assert self.section is not None
+        engine: LockingEngine = self.engine  # type: ignore[assignment]
+        writes: Dict[str, Stamp] = {}
+        with engine.obs.tracer.span("txn.commit_cs", txn=self.txn_id):
+            for key in sorted(self._pending):
+                value = self._pending[key]
+                if key in self.section.lock_refs:
+                    try:
+                        stamp = yield from self.client.critical_put_stamped(
+                            key, self.section.lock_refs[key], value
+                        )
+                    except NotLockHolder as error:
+                        raise TxnAborted("forced_release", str(error))
+                else:  # the mutation's unguarded write path
+                    stamp = engine._mutant_stamp()
+                    yield from self.client.txn_write(key, value, stamp)
+                writes[key] = stamp
+            record = engine.record_commit(
+                self.txn_id, self.reads, writes
+            )
+            yield from self.section.exit()
+            self.section = None
+        self.finished = True
+        return record
+
+    def abort(self) -> Generator[Any, Any, None]:
+        if self.section is not None:
+            section, self.section = self.section, None
+            try:
+                yield from section.exit()
+            except ReproError:
+                pass  # best effort; orphan cleanup reaps leftovers
+        self.finished = True

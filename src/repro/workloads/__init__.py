@@ -11,8 +11,11 @@ from .generator import (
 from .ycsb import (
     PAPER_YCSB_WORKLOADS,
     READ_HEAVY_YCSB_WORKLOADS,
+    TxnMix,
+    TxnSpec,
     YcsbWorkload,
     ZipfianGenerator,
+    txn_mix,
 )
 
 __all__ = [
@@ -23,7 +26,10 @@ __all__ = [
     "PAPER_YCSB_WORKLOADS",
     "READ_HEAVY_YCSB_WORKLOADS",
     "SizedValue",
+    "TxnMix",
+    "TxnSpec",
     "YcsbWorkload",
     "ZipfianGenerator",
+    "txn_mix",
     "value_of_size",
 ]

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Tuple, Union
 
 __all__ = [
     "ZipfianGenerator",
     "YcsbWorkload",
+    "TxnSpec",
+    "TxnMix",
+    "txn_mix",
     "PAPER_YCSB_WORKLOADS",
     "READ_HEAVY_YCSB_WORKLOADS",
 ]
@@ -73,6 +76,90 @@ class YcsbWorkload:
         for _ in range(op_count):
             op = "read" if rng.random() < self.read_fraction else "update"
             yield op, f"{key_prefix}-{zipf.next()}"
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """One multi-key transaction: which keys it reads and writes.
+
+    ``write_keys`` is always a subset of ``keys`` and every written key
+    is also read (read-modify-write, the contention-relevant shape);
+    ``read_keys`` are the keys only read.
+    """
+
+    keys: Tuple[str, ...]          # the full (sorted, distinct) key set
+    read_keys: Tuple[str, ...]     # read-only keys
+    write_keys: Tuple[str, ...]    # read-modify-write keys
+
+
+@dataclass(frozen=True)
+class TxnMix:
+    """A YCSB-style transactional mix over a Zipfian key population.
+
+    ``keys_per_txn`` is either a fixed size or an inclusive ``(lo, hi)``
+    range drawn uniformly per transaction; ``read_fraction`` is the
+    probability that a chosen key is read-only (vs read-modify-write);
+    ``zipf_theta`` is the Zipfian skew constant (θ < 1; higher = more
+    contended head).
+    """
+
+    keys_per_txn: Union[int, Tuple[int, int]]
+    read_fraction: float
+    zipf_theta: float
+
+    def transactions(
+        self,
+        txn_count: int,
+        key_count: int,
+        rng: random.Random,
+        key_prefix: str = "txn",
+    ) -> Iterator[TxnSpec]:
+        """Yield ``txn_count`` multi-key read/write sets."""
+        if isinstance(self.keys_per_txn, int):
+            lo = hi = self.keys_per_txn
+        else:
+            lo, hi = self.keys_per_txn
+        if lo < 1 or hi < lo:
+            raise ValueError(f"bad keys_per_txn range ({lo}, {hi})")
+        if hi > key_count:
+            raise ValueError("keys_per_txn exceeds the key population")
+        zipf = ZipfianGenerator(key_count, rng, constant=self.zipf_theta)
+        for _ in range(txn_count):
+            size = lo if lo == hi else rng.randint(lo, hi)
+            chosen: List[int] = []
+            while len(chosen) < size:
+                item = zipf.next()
+                if item not in chosen:
+                    chosen.append(item)
+            reads: List[str] = []
+            writes: List[str] = []
+            for item in chosen:
+                key = f"{key_prefix}-{item}"
+                if rng.random() < self.read_fraction:
+                    reads.append(key)
+                else:
+                    writes.append(key)
+            if not reads and not writes:  # pragma: no cover - size >= 1
+                continue
+            all_keys = tuple(sorted(reads + writes))
+            yield TxnSpec(
+                keys=all_keys,
+                read_keys=tuple(sorted(reads)),
+                write_keys=tuple(sorted(writes)),
+            )
+
+
+def txn_mix(
+    keys_per_txn: Union[int, Tuple[int, int]],
+    read_fraction: float,
+    zipf_theta: float,
+) -> TxnMix:
+    """The transactional mix generator of the ``txn_regimes`` bench axis."""
+    return TxnMix(
+        keys_per_txn=keys_per_txn,
+        read_fraction=read_fraction,
+        zipf_theta=zipf_theta,
+    )
 
 
 # The three mixes of X-B2.

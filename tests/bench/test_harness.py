@@ -71,7 +71,7 @@ def test_experiment_registry_complete():
                 "fig7a", "fig7b", "fig8", "fig9", "xb4",
                 "ablation_peek", "ablation_sync", "ext_hierarchical",
                 "storage_durability", "elastic_scaling", "lock_contention",
-                "read_scaleout", "live_localcluster"}
+                "read_scaleout", "live_localcluster", "txn_regimes"}
     assert expected == set(EXPERIMENTS)
 
 

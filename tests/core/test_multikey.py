@@ -134,6 +134,69 @@ def test_multi_key_exclusivity_transfers_atomically():
     assert values["acct-a"] == 500 - 40
 
 
+def test_retries_overlapping_clients_both_complete():
+    """Regression for ``enter_multi(..., retries=N)``: two clients
+    repeatedly colliding on overlapping key sets desynchronise via the
+    jittered exponential backoff and both complete, with fresh lockRefs
+    minted on every restart."""
+    music = build_music(seed=13)
+    sim = music.sim
+    completed = []
+    minted = {"first": [], "second": []}
+
+    def worker(site, keys, tag, rounds):
+        client = music.client(site)
+        for _ in range(rounds):
+            cs = yield from enter_multi(
+                client, keys, timeout_ms=300_000.0, retries=8,
+                on_ref=lambda key, ref: minted[tag].append((key, ref)),
+            )
+            yield sim.timeout(150.0)
+            values = yield from cs.get_all()
+            yield from cs.put_all({k: (values[k] or 0) + 1 for k in values})
+            yield from cs.exit()
+        completed.append(tag)
+
+    procs = [
+        sim.process(worker("Ohio", ["ra", "rb"], "first", 3)),
+        sim.process(worker("Oregon", ["rb", "rc"], "second", 3)),
+    ]
+    for proc in procs:
+        sim.run_until_complete(proc, limit=1e9)
+    assert sorted(completed) == ["first", "second"]
+    # on_ref saw every minted lockRef, in lexicographic key order per
+    # attempt, and refs on the shared key are all distinct.
+    shared_refs = [ref for tag in minted for key, ref in minted[tag]
+                   if key == "rb"]
+    assert len(shared_refs) == len(set(shared_refs)) >= 6
+
+    def read_back():
+        client = music.client("N.California")
+        cs = yield from enter_multi(client, ["ra", "rb", "rc"],
+                                    timeout_ms=300_000.0)
+        values = yield from cs.get_all()
+        yield from cs.exit()
+        return values
+
+    values = run(music, read_back())
+    # Every round incremented each of the worker's keys exactly once.
+    assert values == {"ra": 3, "rb": 6, "rc": 3}
+
+
+def test_retries_zero_means_single_attempt():
+    """``retries=0`` is one attempt: the transactional discipline where
+    the caller owns the retry loop."""
+    music = build_music()
+    client = music.client("Ohio")
+
+    def task():
+        cs = yield from enter_multi(client, ["solo"], retries=0)
+        yield from cs.exit()
+        return "ok"
+
+    assert run(music, task()) == "ok"
+
+
 def test_unknown_key_access_rejected():
     music = build_music()
     client = music.client("Ohio")

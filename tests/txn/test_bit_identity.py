@@ -1,0 +1,36 @@
+"""``txn=False`` (and even ``txn=True`` with no transactions run) must
+leave the default path bit-identical.
+
+The transaction layer is strictly additive: attaching the runtime
+builds no processes and consumes no randomness, so the golden simulated
+timestamps pinned by tests/core/test_fast_locks.py must reproduce
+exactly — the same guard CI runs as its identity step."""
+
+from repro import build_music
+from tests.core.test_fast_locks import (
+    GOLDEN_CONTENDED_SEED3,
+    GOLDEN_SINGLE,
+    _contended_stamps,
+    _single_client_stamps,
+)
+
+
+def test_default_build_matches_golden_stamps():
+    import repro.txn  # noqa: F401 - merely importable must change nothing
+
+    assert _single_client_stamps(3) == GOLDEN_SINGLE
+    assert _contended_stamps(3) == GOLDEN_CONTENDED_SEED3
+
+
+def test_txn_runtime_attaches_without_touching_the_simulator():
+    music = build_music(seed=3, txn=True)
+    assert music.txn is not None
+    # No engines built, no processes spawned, no events scheduled by
+    # the runtime itself.
+    assert music.txn._engines == {}
+    assert music.sim.now == 0.0
+
+
+def test_txn_default_is_unbuilt():
+    music = build_music(seed=3)
+    assert music.txn is None

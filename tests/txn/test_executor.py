@@ -1,0 +1,112 @@
+"""The retry executor: capped exponential backoff with jitter, abort
+accounting, and the txn.* span taxonomy."""
+
+from repro.obs import extract_critpaths
+from repro.txn import RetryPolicy, Transaction, TxnAborted, TxnEngine
+
+from .helpers import build_txn_music
+
+
+class FlakyTxn(Transaction):
+    def commit(self):
+        engine = self.engine
+        engine.commits_attempted += 1
+        if engine.commits_attempted <= engine.fail_first:
+            raise TxnAborted("scripted", "fails the first N commits")
+        record = engine.record_commit(self.txn_id, self.reads, {})
+        return record
+        yield  # pragma: no cover
+
+    def _read(self, key):
+        self._note_read(key, None, None)
+        return None
+        yield  # pragma: no cover
+
+
+class FlakyEngine(TxnEngine):
+    name = "flaky"
+
+    def __init__(self, deployment, fail_first):
+        super().__init__(deployment)
+        self.fail_first = fail_first
+        self.commits_attempted = 0
+
+    def begin(self, client, spec):
+        return FlakyTxn(self, client, self.next_txn_id(client), spec)
+        yield  # pragma: no cover
+
+
+class Spec:
+    keys = ("k",)
+    read_keys = ("k",)
+    write_keys = ()
+
+
+def test_retries_until_success_with_growing_backoff():
+    music = build_txn_music(obs=True)
+    sim = music.sim
+    engine = FlakyEngine(music, fail_first=3)
+    policy = RetryPolicy(max_retries=5, backoff_base_ms=10.0,
+                         backoff_factor=2.0, backoff_cap_ms=1_000.0)
+    executor = music.txn.executor(engine, retry=policy)
+
+    result = sim.run_until_complete(
+        sim.process(executor.run(Spec())), limit=1e10
+    )
+    assert result.committed
+    assert result.attempts == 4
+    assert result.aborts == 3
+    assert engine.abort_counts == {"scripted": 3}
+
+    # Three abort_backoff spans, exponentially growing (jitter <= 50%,
+    # so doubling always dominates: each sleep > the previous one).
+    sleeps = [
+        span.duration_ms
+        for span in music.obs.tracer.spans
+        if span.name == "txn.abort_backoff"
+    ]
+    assert len(sleeps) == 3
+    assert sleeps == sorted(sleeps)
+    assert 10.0 <= sleeps[0] <= 15.0  # base x (1 + jitter*rand)
+    assert sleeps[2] >= 40.0
+
+
+def test_backoff_respects_cap():
+    policy = RetryPolicy(backoff_base_ms=100.0, backoff_factor=2.0,
+                         backoff_cap_ms=250.0, jitter=0.0)
+
+    class FixedRng:
+        @staticmethod
+        def random():
+            return 0.0
+
+    assert policy.backoff_ms(0, FixedRng) == 100.0
+    assert policy.backoff_ms(1, FixedRng) == 200.0
+    assert policy.backoff_ms(2, FixedRng) == 250.0
+    assert policy.backoff_ms(9, FixedRng) == 250.0
+
+
+def test_txn_span_taxonomy_books_balance():
+    """Every millisecond of a txn.cs root is attributed to a txn.*
+    phase (or a root sliver), and phase times sum to the measured
+    latency — the explain contract of repro.obs.critpath."""
+    music = build_txn_music(obs=True)
+    sim = music.sim
+    engine = FlakyEngine(music, fail_first=2)
+    executor = music.txn.executor(engine)
+    result = sim.run_until_complete(
+        sim.process(executor.run(Spec())), limit=1e10
+    )
+    assert result.committed
+
+    paths = extract_critpaths(music.obs.tracer.spans, root_name="txn.cs")
+    assert len(paths) == 1
+    path = paths[0]
+    phases = {slice_.phase for slice_ in path.slices}
+    assert phases <= {
+        "txn.execute", "txn.validate", "txn.commit_cs",
+        "txn.abort_backoff", "client.backoff",
+    }
+    assert "txn.abort_backoff" in phases
+    attributed = sum(slice_.duration_ms for slice_ in path.slices)
+    assert abs(attributed - path.duration_ms) < 1e-6

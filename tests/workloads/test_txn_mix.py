@@ -1,0 +1,95 @@
+"""txn_mix (the txn_regimes workload) and the Zipfian closed-form
+oracle: the generator's head probabilities have exact expressions the
+empirical frequencies must match."""
+
+import random
+
+import pytest
+
+from repro.workloads import TxnMix, TxnSpec, ZipfianGenerator, txn_mix
+
+
+class TestZipfianOracle:
+    """Gray et al.'s generator has closed-form head probabilities:
+    P(rank 0) = 1/zeta_n and P(rank 1) = 0.5^theta / zeta_n (the first
+    two branches of ``next()`` are exact, not approximations)."""
+
+    @pytest.mark.parametrize("theta", [0.3, 0.7, 0.99])
+    def test_head_probabilities_match_closed_form(self, theta):
+        n = 50
+        zipf = ZipfianGenerator(n, random.Random(42), constant=theta)
+        draws = 40_000
+        counts = [0] * n
+        for _ in range(draws):
+            counts[zipf.next()] += 1
+        p0_expected = 1.0 / zipf.zeta_n
+        p1_expected = (0.5 ** theta) / zipf.zeta_n
+        assert counts[0] / draws == pytest.approx(p0_expected, rel=0.05)
+        assert counts[1] / draws == pytest.approx(p1_expected, rel=0.10)
+
+    def test_full_distribution_l1_close_to_zipf_law(self):
+        n, theta = 20, 0.9
+        zipf = ZipfianGenerator(n, random.Random(7), constant=theta)
+        draws = 60_000
+        counts = [0] * n
+        for _ in range(draws):
+            counts[zipf.next()] += 1
+        expected = [(1.0 / (i + 1) ** theta) / zipf.zeta_n for i in range(n)]
+        l1 = sum(abs(counts[i] / draws - expected[i]) for i in range(n))
+        assert l1 < 0.06
+
+    def test_theta_monotonicity(self):
+        """Higher theta concentrates more mass on the head."""
+        draws = 20_000
+        heads = []
+        for theta in (0.1, 0.5, 0.9):
+            zipf = ZipfianGenerator(30, random.Random(9), constant=theta)
+            heads.append(sum(1 for _ in range(draws) if zipf.next() == 0))
+        assert heads[0] < heads[1] < heads[2]
+
+
+class TestTxnMix:
+    def test_specs_are_distinct_sorted_and_partitioned(self):
+        mix = txn_mix((2, 4), read_fraction=0.5, zipf_theta=0.9)
+        assert isinstance(mix, TxnMix)
+        specs = list(mix.transactions(200, 30, random.Random(1)))
+        assert len(specs) == 200
+        for spec in specs:
+            assert isinstance(spec, TxnSpec)
+            assert 2 <= len(spec.keys) <= 4
+            assert len(set(spec.keys)) == len(spec.keys)
+            assert spec.keys == tuple(sorted(spec.keys))
+            assert sorted(spec.read_keys + spec.write_keys) == list(spec.keys)
+
+    def test_fixed_size_and_read_fraction_extremes(self):
+        read_only = txn_mix(3, read_fraction=1.0, zipf_theta=0.5)
+        for spec in read_only.transactions(50, 20, random.Random(2)):
+            assert len(spec.keys) == 3
+            assert spec.write_keys == ()
+        write_only = txn_mix(3, read_fraction=0.0, zipf_theta=0.5)
+        for spec in write_only.transactions(50, 20, random.Random(3)):
+            assert spec.read_keys == ()
+
+    def test_skew_concentrates_on_the_zipfian_head(self):
+        hot = txn_mix(2, read_fraction=0.5, zipf_theta=0.99)
+        cold = txn_mix(2, read_fraction=0.5, zipf_theta=0.1)
+        rng = random.Random(4)
+
+        def head_share(mix):
+            specs = list(mix.transactions(500, 50, rng))
+            touched = [key for spec in specs for key in spec.keys]
+            return sum(1 for key in touched if key == "txn-0") / len(touched)
+
+        assert head_share(hot) > 2 * head_share(cold)
+
+    def test_deterministic_under_seeded_rng(self):
+        mix = txn_mix((2, 3), read_fraction=0.4, zipf_theta=0.8)
+        a = list(mix.transactions(50, 25, random.Random(11)))
+        b = list(mix.transactions(50, 25, random.Random(11)))
+        assert a == b
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            list(txn_mix((3, 2), 0.5, 0.5).transactions(1, 10, random.Random(0)))
+        with pytest.raises(ValueError):
+            list(txn_mix(11, 0.5, 0.5).transactions(1, 10, random.Random(0)))
