@@ -13,6 +13,11 @@ harness runs two standard scenarios with the DES self-profiler attached
 - ``ycsb_b_leases`` — YCSB-B read-heavy ownership workload with read
   leases on, 3 store nodes per site (seed 808): many cheap local events
   plus quorum writes.  Heavy on RPC fan-out and span allocation.
+- ``bigscale`` — the scale tier (seed 909): at ``--big``, 33 store
+  nodes, 1,024 clients and a 131,072-key keyspace with the runtime ECF
+  auditor attached; per-event constant costs (placement, routing,
+  envelopes) at cluster width rather than contention depth.  The run
+  fails if the audit is not clean.
 
 For each scenario it records sim-events/sec, wall-seconds, heap
 high-water, allocation counters and per-subsystem wall shares, and
@@ -29,6 +34,7 @@ Usage::
 
     python benchmarks/perf_trajectory.py                # measure + append
     python benchmarks/perf_trajectory.py --smoke        # small CI-sized run
+    python benchmarks/perf_trajectory.py --big          # 1k+ clients / 30+ nodes
     python benchmarks/perf_trajectory.py --smoke --check   # regression gate
     python benchmarks/perf_trajectory.py --update       # rewrite the baseline
     python benchmarks/perf_trajectory.py --speedscope out/  # flamegraphs
@@ -41,6 +47,8 @@ with the same scenario + scale.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
 import pathlib
 import sys
@@ -60,10 +68,29 @@ DEFAULT_THRESHOLD = 0.30
 # -- scenarios ---------------------------------------------------------------
 
 
-def run_contention16(smoke: bool) -> Dict[str, Any]:
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend the cyclic GC while a scenario runs.
+
+    Generational collections otherwise fire mid-run and land inside
+    whichever event handler happened to trigger them, attributing an
+    unrelated multi-millisecond pause to that event's wall time.  The
+    deferred collection happens after the measured window.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
+
+
+def run_contention16(scale: str) -> Dict[str, Any]:
     """The contention bench shape: N clients hammering one hot key."""
-    clients_n = 8 if smoke else 16
-    rounds = 2 if smoke else 3
+    clients_n = {"smoke": 8, "quick": 16, "big": 48}[scale]
+    rounds = {"smoke": 2, "quick": 3, "big": 3}[scale]
     deployment = build_music(seed=606, profile=True)
     sim = deployment.sim
     sites = deployment.profile.site_names
@@ -79,20 +106,21 @@ def run_contention16(smoke: bool) -> Dict[str, Any]:
             yield from section.exit()
 
     processes = [sim.process(worker(client)) for client in clients]
-    for process in processes:
-        sim.run_until_complete(process, limit=1e10)
+    with _gc_paused():
+        for process in processes:
+            sim.run_until_complete(process, limit=1e10)
     snapshot = deployment.profiler.snapshot()
     snapshot["config"] = {"clients": clients_n, "rounds": rounds, "seed": 606}
     snapshot["profiler"] = deployment.profiler
     return snapshot
 
 
-def run_ycsb_b_leases(smoke: bool) -> Dict[str, Any]:
+def run_ycsb_b_leases(scale: str) -> Dict[str, Any]:
     """YCSB-B ownership reads with leases on (the read-scale-out shape)."""
     from repro.workloads import READ_HEAVY_YCSB_WORKLOADS
 
-    workers_n = 3 if smoke else 9
-    window_ms = 500.0 if smoke else 2_000.0
+    workers_n = {"smoke": 3, "quick": 9, "big": 27}[scale]
+    window_ms = {"smoke": 500.0, "quick": 2_000.0, "big": 4_000.0}[scale]
     think_ms = 2.0
     mix = next(w for w in READ_HEAVY_YCSB_WORKLOADS if w.name == "B")
     deployment = build_music(
@@ -118,8 +146,9 @@ def run_ycsb_b_leases(smoke: bool) -> Dict[str, Any]:
         yield from section.exit()
 
     processes = [sim.process(worker(index)) for index in range(workers_n)]
-    for process in processes:
-        sim.run_until_complete(process, limit=1e10)
+    with _gc_paused():
+        for process in processes:
+            sim.run_until_complete(process, limit=1e10)
     snapshot = deployment.profiler.snapshot()
     snapshot["config"] = {
         "workers": workers_n, "window_ms": window_ms, "mix": "B", "seed": 808,
@@ -128,9 +157,74 @@ def run_ycsb_b_leases(smoke: bool) -> Dict[str, Any]:
     return snapshot
 
 
+def run_bigscale(scale: str) -> Dict[str, Any]:
+    """The scale tier: a wide cluster under a broad, mostly-uncontended
+    key population — the shape that surfaces per-event constant costs
+    (placement, routing, envelope allocation) rather than contention.
+
+    At ``big`` this is 33 store nodes (11 per site x 3 sites), 1,024
+    clients and a 131,072-key keyspace, with the runtime ECF auditor
+    attached; smaller scales shrink the same shape for CI.  Every run
+    asserts the audit stayed clean.
+    """
+    clients_n, keyspace, nodes_per_site = {
+        "smoke": (24, 4_096, 2),
+        "quick": (128, 16_384, 4),
+        "big": (1_024, 131_072, 11),
+    }[scale]
+    sections = 1 if scale == "smoke" else 2
+    eventual_ops = {"smoke": 4, "quick": 8, "big": 16}[scale]
+    deployment = build_music(
+        seed=909, nodes_per_site=nodes_per_site, profile=True, audit=True,
+    )
+    sim = deployment.sim
+    sites = deployment.profile.site_names
+    clients = [
+        deployment.client(sites[index % len(sites)]) for index in range(clients_n)
+    ]
+
+    def worker(index: int, client) -> Generator[Any, Any, None]:
+        rng = deployment.streams.stream(f"bigscale-{index}")
+        for _ in range(sections):
+            key = f"key-{rng.randrange(keyspace)}"
+            section = yield from client.critical_section(key, timeout_ms=1e9)
+            value = yield from section.get()
+            yield from section.put((value or 0) + 1)
+            yield from section.exit()
+        for op in range(eventual_ops):
+            key = f"key-{rng.randrange(keyspace)}"
+            if op % 2 == 0:
+                yield from client.put(key, op)
+            else:
+                yield from client.get(key)
+
+    processes = [
+        sim.process(worker(index, client)) for index, client in enumerate(clients)
+    ]
+    with _gc_paused():
+        for process in processes:
+            sim.run_until_complete(process, limit=1e10)
+    violations = len(deployment.auditor.violations)
+    if violations:
+        raise RuntimeError(
+            f"bigscale audit found {violations} violations; "
+            "the scale tier must run clean"
+        )
+    snapshot = deployment.profiler.snapshot()
+    snapshot["config"] = {
+        "clients": clients_n, "keyspace": keyspace,
+        "store_nodes": nodes_per_site * len(sites),
+        "sections": sections, "eventual_ops": eventual_ops,
+        "audit": True, "audit_violations": violations, "seed": 909,
+    }
+    snapshot["profiler"] = deployment.profiler
+    return snapshot
+
+
 SCENARIOS = {
     "contention16": run_contention16,
     "ycsb_b_leases": run_ycsb_b_leases,
+    "bigscale": run_bigscale,
 }
 
 
@@ -162,8 +256,8 @@ def calibrate(duration_s: float = 0.2) -> float:
 # -- trajectory records ------------------------------------------------------
 
 
-def measure(scenario: str, smoke: bool, calib_ops: float) -> Dict[str, Any]:
-    snapshot = SCENARIOS[scenario](smoke)
+def measure(scenario: str, scale: str, calib_ops: float) -> Dict[str, Any]:
+    snapshot = SCENARIOS[scenario](scale)
     config = snapshot.pop("config")
     profiler = snapshot.pop("profiler")
     events_per_sec = snapshot["events_per_sec"]
@@ -184,7 +278,7 @@ def measure(scenario: str, smoke: bool, calib_ops: float) -> Dict[str, Any]:
     }
     return {
         "scenario": scenario,
-        "config": {"scenario": scenario, "scale": "smoke" if smoke else "quick", **config},
+        "config": {"scenario": scenario, "scale": scale, **config},
         "metrics": metrics,
         "profiler": profiler,
     }
@@ -220,8 +314,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="measure the DES core and gate wall-clock regressions"
     )
-    parser.add_argument(
+    scale_group = parser.add_mutually_exclusive_group()
+    scale_group.add_argument(
         "--smoke", action="store_true", help="small CI-sized workloads"
+    )
+    scale_group.add_argument(
+        "--big", action="store_true",
+        help="the scale tier: 1k+ clients / 100k+ keys / 30+ nodes, audited",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -249,7 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    scale = "smoke" if args.smoke else "quick"
+    scale = "big" if args.big else "smoke" if args.smoke else "quick"
     scenarios = args.scenario or sorted(SCENARIOS)
     calib_ops = calibrate()
     print(f"calibration: {calib_ops:,.0f} reference ops/sec on this host")
@@ -258,7 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures: List[str] = []
     for scenario in scenarios:
         began = time.perf_counter()
-        result = measure(scenario, args.smoke, calib_ops)
+        result = measure(scenario, scale, calib_ops)
         took = time.perf_counter() - began
         metrics = result["metrics"]
         shares = ", ".join(

@@ -57,6 +57,9 @@ class LiveClock:
         # Failures that escaped a scheduled action (a handler bug, a
         # codec error): recorded loudly instead of unwinding the loop.
         self.errors: List[str] = []
+        # Child failures defused by AllOf/AnyOf after the combinator
+        # already triggered (same counter the DES kernel keeps).
+        self.swallowed_failures = 0
 
     # -- time --------------------------------------------------------------
 
@@ -108,6 +111,10 @@ class LiveClock:
         handle_slot.append(handle)
         self._handles.add(handle)
 
+    def _push_call(self, delay: float, fn: Callable[[Any], None], arg: Any) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` ms (kernel fast-path API)."""
+        self._push(delay, lambda: fn(arg))
+
     def _schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
         self._push(0.0, lambda: callback(event))
 
@@ -121,6 +128,10 @@ class LiveClock:
     def call_at(self, when: float, action: Callable[[], None]) -> None:
         """Run ``action`` at absolute clock time ``when`` (ms)."""
         self._push(max(0.0, when - self.now), action)
+
+    def _defuse(self, event: Event) -> None:
+        """Account a child failure that lost an AllOf/AnyOf race."""
+        self.swallowed_failures += 1
 
     # -- asyncio bridge ----------------------------------------------------
 

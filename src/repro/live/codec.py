@@ -76,9 +76,12 @@ def encode(obj: Any) -> Any:
         return {_DICT_TAG: [[encode(k), encode(v)] for k, v in obj.items()]}
     cls = type(obj)
     if dataclasses.is_dataclass(obj) and cls.__name__ in _CLASSES:
+        # init=False fields are derived local state (size/payload caches),
+        # not protocol data: the receiver's constructor recomputes them.
         fields = {
             field.name: encode(getattr(obj, field.name))
             for field in dataclasses.fields(obj)
+            if field.init
         }
         return {_CLASS_TAG: cls.__name__, "f": fields}
     raise CodecError(f"cannot encode {cls.__name__} value {obj!r} for the live wire")

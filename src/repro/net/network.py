@@ -23,9 +23,8 @@ messages.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Set
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from ..obs import NULL_OBS
 from ..sim import Mailbox, RandomStreams, Simulator
@@ -104,7 +103,11 @@ class Network:
         self._rng = self.streams.stream("network")
         self._endpoints: Dict[str, _Endpoint] = {}
         self._partitions: Set[frozenset] = set()
-        self._message_ids = itertools.count()
+        self._next_message_id = 0
+        # (src_site, dst_site) -> one-way latency.  The profile's rtt()
+        # builds a frozenset per lookup; sends are the hottest network
+        # path, so resolve each ordered pair once.
+        self._one_way_cache: Dict[Tuple[str, str], float] = {}
         self._taps: list[Callable[[Message], None]] = []
         # Observability facade inherited by every node registered here
         # (a NullObservability unless a real one is installed).
@@ -150,7 +153,13 @@ class Network:
         :meth:`~repro.net.node.Node.recover`, which replays their
         commit log *before* calling this.
         """
-        self._endpoints[node_id].failed = False
+        endpoint = self._endpoints[node_id]
+        endpoint.failed = False
+        # Clear the NIC serialization horizon: messages queued behind the
+        # egress link at crash time were dropped, not transmitted, so a
+        # recovering node must not rejoin with a phantom backlog charging
+        # transmission delay for bytes that never went on the wire.
+        endpoint.egress_free_at = 0.0
 
     def is_failed(self, node_id: str) -> bool:
         return self._endpoints[node_id].failed
@@ -188,49 +197,54 @@ class Network:
         The caller never learns whether the message was dropped — exactly
         the fair-loss link the paper's system model assumes.
         """
+        sim = self.sim
+        now = sim.now
         source = self._endpoints[src]
         target = self._endpoints[dst]
-        message = Message(
-            src=src,
-            dst=dst,
-            kind=kind,
-            body=body,
-            size_bytes=size_bytes,
-            sent_at=self.sim.now,
-            message_id=next(self._message_ids),
-        )
-        self.stats.sent += 1
-        self.stats.bytes_sent += size_bytes
-        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
+        message_id = self._next_message_id
+        self._next_message_id = message_id + 1
+        message = Message(src, dst, kind, body, size_bytes, now, message_id)
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
+        per_kind = stats.per_kind
+        per_kind[kind] = per_kind.get(kind, 0) + 1
         for tap in self._taps:
             tap(message)
 
         if source.failed:
-            self.stats.dropped_failed += 1
+            stats.dropped_failed += 1
             return
 
         # Egress serialization: the sender's NIC transmits one message at
         # a time; later messages queue behind earlier ones.
         tx_time = (size_bytes + MESSAGE_OVERHEAD_BYTES) / self.bandwidth
-        start = max(self.sim.now, source.egress_free_at)
+        start = max(now, source.egress_free_at)
         source.egress_free_at = start + tx_time
         departure = start + tx_time
 
-        latency = self.profile.one_way(source.site, target.site)
+        pair = (source.site, target.site)
+        latency = self._one_way_cache.get(pair)
+        if latency is None:
+            latency = self._one_way_cache[pair] = self.profile.one_way(*pair)
         if self.jitter_fraction > 0.0:
             latency *= 1.0 + self._rng.uniform(0.0, self.jitter_fraction)
         arrival = departure + latency
 
-        self.sim.call_at(arrival, lambda: self._deliver(message, source, target))
+        # Bound-method delivery: no per-message closure.  The endpoint
+        # records are re-looked-up at arrival time from the message.
+        sim._push_call(arrival - now, self._deliver, message)
 
-    def _deliver(self, message: Message, source: _Endpoint, target: _Endpoint) -> None:
+    def _deliver(self, message: Message) -> None:
         # Partition/failure state is evaluated at arrival time, so a
         # partition healed mid-flight lets late packets through — the
         # delayed-packet behaviour false failure detection stems from.
+        source = self._endpoints[message.src]
+        target = self._endpoints[message.dst]
         if target.failed or source.failed:
             self.stats.dropped_failed += 1
             return
-        if self.partitioned(source.site, target.site):
+        if self._partitions and self.partitioned(source.site, target.site):
             self.stats.dropped_partition += 1
             return
         if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:

@@ -11,7 +11,6 @@ CassaEV-style local operations at finite throughput).
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
 
 from ..errors import RpcTimeout
@@ -63,7 +62,12 @@ class Node:
         self.network.register(node_id, site, self.inbox)
         self._handlers: Dict[str, Handler] = {}
         self._pending_replies: Dict[int, Any] = {}
-        self._request_ids = itertools.count()
+        self._next_request_id = 0
+        # Per-kind reply-event ("rpc:<kind>") and handler-process
+        # ("<node>:<kind>") names, built once per kind so the RPC hot
+        # path never formats strings.
+        self._rpc_names: Dict[str, str] = {}
+        self._proc_names: Dict[str, str] = {}
         self._serve_process: Optional[Process] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -160,25 +164,36 @@ class Node:
         timeout: float = DEFAULT_RPC_TIMEOUT_MS,
     ) -> Any:
         """Fire an RPC; returns the reply Event (fails with RpcTimeout)."""
-        request_id = next(self._request_ids)
-        reply_event = self.sim.event(name=f"rpc:{kind}:{request_id}")
-        self._pending_replies[request_id] = reply_event
-        envelope = {"request_id": request_id, "reply_to": self.node_id, "payload": body}
-        profiler = self.sim.profiler
+        sim = self.sim
+        request_id = self._next_request_id
+        self._next_request_id = request_id + 1
+        profiler = sim.profiler
         if profiler is not None:
             profiler.rpc_envelopes += 1
+            name = self._rpc_names.get(kind)
+            if name is None:
+                name = self._rpc_names[kind] = "rpc:" + kind
+            reply_event = sim.event(name=name)
+        else:
+            reply_event = sim.event()
+        self._pending_replies[request_id] = reply_event
+        envelope = {"request_id": request_id, "reply_to": self.node_id, "payload": body}
         trace_context = self.obs.tracer.rpc_context()
         if trace_context is not None:
             envelope["trace"] = trace_context
         self.network.send(self.node_id, dst, kind, envelope, size_bytes)
-
-        def expire() -> None:
-            if not reply_event.triggered:
-                self._pending_replies.pop(request_id, None)
-                reply_event.fail(RpcTimeout(f"{kind} to {dst} after {timeout}ms"))
-
-        self.sim.call_at(self.sim.now + timeout, expire)
+        # Closure-free expiry: a tuple arg instead of a per-RPC lambda;
+        # the timeout message string is only built if the RPC actually
+        # expires.
+        sim._push_call(timeout, Node._expire_rpc, (self, request_id, reply_event, kind, dst, timeout))
         return reply_event
+
+    @staticmethod
+    def _expire_rpc(arg: Tuple["Node", int, Any, str, str, float]) -> None:
+        node, request_id, reply_event, kind, dst, timeout = arg
+        if not reply_event._triggered:
+            node._pending_replies.pop(request_id, None)
+            reply_event.fail(RpcTimeout(f"{kind} to {dst} after {timeout}ms"))
 
     def call(
         self,
@@ -230,7 +245,14 @@ class Node:
                 raise LookupError(f"{self.node_id}: no handler for {message.kind!r}")
             result = handler(message)
             if result is not None and hasattr(result, "send"):
-                process = self.sim.process(result, name=f"{self.node_id}:{message.kind}")
+                if self.sim.profiler is not None:
+                    kind = message.kind
+                    name = self._proc_names.get(kind)
+                    if name is None:
+                        name = self._proc_names[kind] = f"{self.node_id}:{kind}"
+                    process = self.sim.process(result, name=name)
+                else:
+                    process = self.sim.process(result)
                 if self.obs.enabled and isinstance(message.body, dict):
                     trace_context = message.body.get("trace")
                     if trace_context is not None:

@@ -20,16 +20,17 @@ What it measures (all wall-clock via ``time.perf_counter``; simulated
 timings are untouched, so profiled runs stay bit-identical in sim time):
 
 - total events executed, total wall seconds, events/sec;
-- event-heap length high-water mark;
-- per-event-type handler time, keyed by the scheduled action's
-  ``__qualname__`` (``Process._bootstrap``, ``_schedule_callback`` resume
-  lambdas, ``_schedule_trigger`` timeout fires, ``Network.send`` delivery
-  lambdas, ...);
-- per-subsystem handler time, attributed by sampling the action's
-  closure/bound-object every ``sample_every`` events and mapping the
+- scheduler depth high-water mark (heap + same-time ready queue);
+- per-event-type handler time, keyed by the scheduled function's
+  ``__qualname__`` (``Process._bootstrap``, ``Process._resume``,
+  ``_fire_event`` timeout fires, ``Network._deliver`` deliveries, ...);
+- per-subsystem handler time, attributed by sampling the scheduled
+  ``(fn, arg)`` pair every ``sample_every`` events and mapping the
   owning process/event name onto a subsystem (music / store / net /
   client / topo / timer);
-- RPC envelope and obs-span allocation counts.
+- RPC envelope, obs-span and heap-push allocation counts (heap pushes
+  read the kernel's ``(time, seq)`` tie-break counter, so the ready
+  queue's heap bypass is directly visible as fewer pushes per event).
 
 ``speedscope_samples()`` exports the buckets as weighted stacks for a
 flamegraph (:func:`repro.obs.export.write_speedscope`).
@@ -41,6 +42,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..sim import Simulator
+from ..sim.core import _NOARG
 
 __all__ = ["SimProfiler", "subsystem_of"]
 
@@ -89,24 +91,34 @@ def subsystem_of(name: Optional[str]) -> str:
     return "other"
 
 
-def _action_owner_name(action: Callable[[], None]) -> str:
-    """Best-effort name of whatever a scheduled action will run.
+def _entry_owner_name(fn: Callable[..., None], arg: Any) -> str:
+    """Best-effort name of whatever a scheduled ``(fn, arg)`` pair runs.
 
-    Heap actions are one of: a ``Process._bootstrap`` bound method (the
-    owner is the process), a ``_schedule_callback`` lambda whose closure
-    holds the callback (often ``Process._resume``) and the triggering
-    event, a ``_schedule_trigger`` ``fire`` closure holding the event
-    (usually a Timeout), or a ``call_at`` lambda (e.g. a network
-    delivery).  We look at the bound object first, then scan closure
-    cells for anything with a ``name``.
+    Scheduled entries are one of: an unbound ``Process._bootstrap`` /
+    ``Process._deliver_interrupt`` with the process as ``arg``, a bound
+    ``Process._resume`` callback with the triggering event as ``arg``, a
+    module-level ``_fire_event`` with the event (usually a Timeout) as
+    ``arg``, a bound ``Network._deliver`` with the message as ``arg``,
+    or a legacy no-arg callable.  We look at the bound object first,
+    then the argument, then (for legacy closures) the closure cells.
     """
-    owner = getattr(action, "__self__", None)
+    owner = getattr(fn, "__self__", None)
     if owner is not None:
         name = getattr(owner, "name", None)
         if name:
             return str(name)
+    if arg is not _NOARG and arg is not None:
+        name = getattr(arg, "name", None)
+        if isinstance(name, str) and name:
+            return name
+        if type(arg) is tuple:
+            for value in arg:
+                name = getattr(value, "name", None)
+                if isinstance(name, str) and name:
+                    return name
+    if owner is not None:
         return type(owner).__name__
-    closure = getattr(action, "__closure__", None)
+    closure = getattr(fn, "__closure__", None)
     if closure:
         fallback = ""
         for cell in closure:
@@ -124,7 +136,7 @@ def _action_owner_name(action: Callable[[], None]) -> str:
                 fallback = fallback or name
         if fallback:
             return fallback
-    return getattr(action, "__qualname__", type(action).__name__)
+    return getattr(fn, "__qualname__", type(fn).__name__)
 
 
 class SimProfiler:
@@ -152,6 +164,21 @@ class SimProfiler:
         self.sampled_wall_s = 0.0
         self._sim: Optional[Simulator] = None
         self._tick = 0
+        self._seq_at_install = 0
+        self._heap_pushes_final = 0
+
+    @property
+    def heap_pushes(self) -> int:
+        """Heap pushes since install (same-time ready-queue work excluded).
+
+        Read from the kernel's ``(time, seq)`` tie-break counter, which
+        only advances on real ``heapq`` pushes — the denominator for
+        "what fraction of scheduling bypassed the heap".
+        """
+        sim = self._sim
+        if sim is not None:
+            return sim._seq - self._seq_at_install
+        return self._heap_pushes_final
 
     # -- installation -------------------------------------------------------
 
@@ -168,23 +195,42 @@ class SimProfiler:
             raise RuntimeError("simulator already has a step override")
         self._sim = sim
         sim.profiler = self  # type: ignore[attr-defined]
+        self._seq_at_install = sim._seq
 
         heappop = __import__("heapq").heappop
         perf_counter = time.perf_counter
         heap = sim._heap
+        ready = sim._ready
 
         def profiled_step() -> None:
-            depth = len(heap)
+            # Replicates Simulator.step exactly (same-time heap entries
+            # drain before the ready queue, then future heap entries)
+            # with timing around the dispatch — simulated behaviour is
+            # bit-identical with profiling on.
+            depth = len(heap) + len(ready)
             if depth > self.heap_high_water:
                 self.heap_high_water = depth
-            when, _seq, action = heappop(heap)
-            sim.now = when
+            if ready:
+                if heap and heap[0].time <= sim.now:
+                    entry = heappop(heap)
+                    fn = entry.fn
+                    arg = entry.arg
+                else:
+                    fn, arg = ready.popleft()
+            else:
+                entry = heappop(heap)
+                sim.now = entry.time
+                fn = entry.fn
+                arg = entry.arg
             began = perf_counter()
-            action()
+            if arg is _NOARG:
+                fn()
+            else:
+                fn(arg)
             elapsed = perf_counter() - began
             self.events += 1
             self.wall_s += elapsed
-            kind = getattr(action, "__qualname__", None) or type(action).__name__
+            kind = getattr(fn, "__qualname__", None) or type(fn).__name__
             bucket = self.by_event_type.get(kind)
             if bucket is None:
                 bucket = self.by_event_type[kind] = [0, 0.0]
@@ -193,7 +239,7 @@ class SimProfiler:
             self._tick += 1
             if self._tick >= self.sample_every:
                 self._tick = 0
-                subsystem = subsystem_of(_action_owner_name(action))
+                subsystem = subsystem_of(_entry_owner_name(fn, arg))
                 sub = self.by_subsystem.get(subsystem)
                 if sub is None:
                     sub = self.by_subsystem[subsystem] = [0, 0.0]
@@ -210,6 +256,7 @@ class SimProfiler:
         sim = self._sim
         if sim is None:
             return
+        self._heap_pushes_final = sim._seq - self._seq_at_install
         sim.__dict__.pop("step", None)
         if getattr(sim, "profiler", None) is self:
             sim.profiler = None  # type: ignore[attr-defined]
@@ -241,6 +288,7 @@ class SimProfiler:
             "wall_s": self.wall_s,
             "events_per_sec": self.events_per_sec,
             "heap_high_water": self.heap_high_water,
+            "heap_pushes": self.heap_pushes,
             "rpc_envelopes": self.rpc_envelopes,
             "obs_spans": self.obs_spans,
             "sample_every": self.sample_every,
@@ -258,7 +306,7 @@ class SimProfiler:
             f"({self.events_per_sec:,.0f} events/sec), "
             f"heap high-water {self.heap_high_water}",
             f"allocations: {self.rpc_envelopes} RPC envelopes, "
-            f"{self.obs_spans} obs spans",
+            f"{self.obs_spans} obs spans, {self.heap_pushes} heap pushes",
             "",
             f"{'event type':<44} {'events':>9} {'wall ms':>10} {'share':>7}",
             "-" * 74,

@@ -105,8 +105,13 @@ class Clock(Protocol):
     def call_at(self, when: float, action: Callable[[], None]) -> None: ...
 
     # Kernel-internal surface: Event/Timeout/Process objects schedule
-    # themselves through these three, so any Clock must provide them.
+    # themselves through these, so any Clock must provide them.
+    # ``_push_call`` is the allocation-free fast path (``fn(arg)``, no
+    # closure); ``_defuse`` accounts an AllOf/AnyOf child failure that
+    # lost the race after the combinator triggered.
     def _push(self, delay: float, action: Callable[[], None]) -> None: ...
+
+    def _push_call(self, delay: float, fn: Callable[[Any], None], arg: Any) -> None: ...
 
     def _schedule_callback(
         self, callback: Callable[[Any], None], event: Any
@@ -115,6 +120,8 @@ class Clock(Protocol):
     def _schedule_trigger(
         self, delay: float, event: Any, ok: bool, value: Any
     ) -> None: ...
+
+    def _defuse(self, event: Any) -> None: ...
 
 
 @runtime_checkable
@@ -169,7 +176,8 @@ def require_clock(candidate: Any) -> Any:
             for name in (
                 "now", "active_process", "profiler", "event", "timeout",
                 "process", "all_of", "any_of", "call_at", "_push",
-                "_schedule_callback", "_schedule_trigger",
+                "_push_call", "_schedule_callback", "_schedule_trigger",
+                "_defuse",
             )
             if not hasattr(candidate, name)
         ]

@@ -35,12 +35,39 @@ Example::
 
     sim.process(main())
     sim.run()
+
+Scheduler fast path (DESIGN.md §14)
+-----------------------------------
+
+The scheduler keeps two structures:
+
+- ``_ready`` — a plain FIFO deque of ``(fn, arg)`` pairs for *same-time*
+  work: callback hops, process bootstraps, triggered-event wakeups.
+  Roughly 80% of all scheduled actions are ``delay == 0`` continuations
+  of the current instant, and they bypass the heap entirely.
+- ``_heap`` — a binary heap of slotted :class:`_Entry` records for work
+  at a *future* time (timeouts, message arrivals, timers), ordered by
+  ``(time, seq)`` where ``seq`` is a per-simulator push counter that
+  breaks same-time ties FIFO.
+
+Determinism contract: every entry in ``_ready`` was scheduled at the
+current ``now`` and therefore *after* (in program order) every heap
+entry whose time equals ``now`` — heap entries landing at ``now`` were
+pushed at an earlier instant with a positive delay.  ``step`` therefore
+drains same-time heap entries before the ready queue, which reproduces
+exactly the global ``(time, seq)`` order the previous tuple-heap
+scheduler produced.  Seed runs are bit-identical across the change.
+
+Scheduled actions are ``(fn, arg)`` pairs rather than zero-argument
+closures: the dispatcher calls ``fn(arg)`` (or ``fn()`` when ``arg`` is
+the no-arg sentinel), so the hot paths — callback delivery, process
+resume, timeout firing, message delivery — allocate no lambdas.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -53,6 +80,10 @@ __all__ = [
     "AnyOf",
     "Simulator",
 ]
+
+
+# Sentinel marking a scheduled (fn, arg) pair whose fn takes no argument.
+_NOARG = object()
 
 
 class SimulationError(Exception):
@@ -70,6 +101,40 @@ class Interrupt(Exception):
         return self.args[0] if self.args else None
 
 
+class _Entry:
+    """One future-time heap entry: ``(time, seq, fn, arg)`` with slots.
+
+    ``seq`` is the per-simulator heap-push counter; ``__lt__`` orders by
+    ``(time, seq)`` so same-time entries pop in push (FIFO) order — the
+    total order the old ``(time, seq, action)`` tuple heap had, without
+    a global ``itertools.count`` draw on every push.
+    """
+
+    __slots__ = ("time", "seq", "fn", "arg")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], arg: Any) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.arg = arg
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+def _fire_event(event: "Event") -> None:
+    """Scheduled-trigger thunk: succeed ``event`` with its staged value.
+
+    The value is pre-staged on ``event._value`` at schedule time (the
+    slot is unread while the event is pending), so firing a timeout
+    allocates nothing.
+    """
+    if not event._triggered:
+        event._trigger(True, event._value)
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -79,15 +144,23 @@ class Event:
     event resumes the process on the next scheduler step.
     """
 
-    __slots__ = ("sim", "_callbacks", "_triggered", "_ok", "_value", "name")
+    __slots__ = ("sim", "_callbacks", "_triggered", "_ok", "_value", "_abandon", "name")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._callbacks: list[Callable[["Event"], None]] = []
+        # Lazily materialized: most events get exactly zero or one
+        # callback, so the list is only allocated on first use.
+        self._callbacks: Optional[list] = None
         self._triggered = False
         self._ok = False
         self._value: Any = None
+        # Optional hook called with this event when a waiting process is
+        # interrupted away from it (see Process._deliver_interrupt).
+        # Primitives use it to cancel queued waiter state — a Resource
+        # un-queues (or re-releases) the grant, a Condition/Mailbox
+        # forgets the waiter — so interrupts never leak capacity.
+        self._abandon: Optional[Callable[["Event"], None]] = None
 
     @property
     def triggered(self) -> bool:
@@ -128,7 +201,11 @@ class Event:
                 self.sim._unhandled.remove(self)
             self.sim._schedule_callback(callback, self)
         else:
-            self._callbacks.append(callback)
+            callbacks = self._callbacks
+            if callbacks is None:
+                self._callbacks = [callback]
+            else:
+                callbacks.append(callback)
 
     def _trigger(self, ok: bool, value: Any) -> None:
         if self._triggered:
@@ -136,13 +213,17 @@ class Event:
         self._triggered = True
         self._ok = ok
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        if not ok and not callbacks:
-            # A failure nobody is waiting on: record it so run() can
-            # re-raise instead of letting the error pass silently.
-            self.sim._unhandled.append(self)
+        callbacks = self._callbacks
+        if callbacks is None:
+            if not ok:
+                # A failure nobody is waiting on: record it so run() can
+                # re-raise instead of letting the error pass silently.
+                self.sim._unhandled.append(self)
+            return
+        self._callbacks = None
+        schedule = self.sim._schedule_callback
         for callback in callbacks:
-            self.sim._schedule_callback(callback, self)
+            schedule(callback, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
@@ -160,9 +241,12 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"Timeout({delay})")
+        # Constant name: cheap, and enough for subsystem attribution
+        # ("Timeout" -> the timer bucket); the delay is in `self.delay`.
+        super().__init__(sim, name="Timeout")
         self.delay = delay
-        sim._schedule_trigger(delay, self, True, value)
+        self._value = value  # staged for _fire_event; unread while pending
+        sim._push_call(delay, _fire_event, self)
 
 
 class Process(Event):
@@ -172,7 +256,7 @@ class Process(Event):
     (with the return value) or raises (failing waiters with the error).
     """
 
-    __slots__ = ("generator", "context", "_waiting_on", "_interrupts")
+    __slots__ = ("generator", "context", "_waiting_on", "_interrupts", "_resume_cb")
 
     def __init__(
         self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str = ""
@@ -188,13 +272,16 @@ class Process(Event):
         parent = sim.active_process
         self.context: dict = dict(parent.context) if parent is not None and parent.context else {}
         self._waiting_on: Optional[Event] = None
-        self._interrupts: list[Any] = []
+        self._interrupts: Optional[list] = None
+        # One bound method for the life of the process instead of a fresh
+        # one per yield (processes re-register after every wait).
+        self._resume_cb = self._resume
         # Kick the generator off on the next scheduler step.
-        sim._push(0.0, self._bootstrap)
+        sim._push_call(0.0, Process._bootstrap, self)
 
     def _bootstrap(self) -> None:
         if not self._triggered:
-            self._step(lambda: self.generator.send(None))
+            self._advance(False, None)
 
     @property
     def is_alive(self) -> bool:
@@ -208,17 +295,27 @@ class Process(Event):
         """
         if self._triggered:
             return
-        self._interrupts.append(cause)
-        self.sim._schedule_callback(self._deliver_interrupt, self)
+        if self._interrupts is None:
+            self._interrupts = [cause]
+        else:
+            self._interrupts.append(cause)
+        self.sim._schedule_callback(Process._deliver_interrupt, self)
 
-    def _deliver_interrupt(self, _event: Event) -> None:
+    def _deliver_interrupt(self) -> None:
         if self._triggered or not self._interrupts:
             return
         cause = self._interrupts.pop(0)
         # Detach from whatever we were waiting on; when the original event
         # later triggers, _resume will see that it is no longer current.
+        # If that event owns cancellable waiter state (a queued Resource
+        # grant, a Condition/Mailbox slot), tell it the waiter is gone so
+        # nothing is granted to — or retained for — a process that will
+        # never consume it.
+        waiting = self._waiting_on
         self._waiting_on = None
-        self._step(lambda: self.generator.throw(Interrupt(cause)))
+        if waiting is not None and waiting._abandon is not None:
+            waiting._abandon(waiting)
+        self._advance(True, Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
         if self._triggered:
@@ -227,12 +324,12 @@ class Process(Event):
             # Stale wakeup: an interrupt detached us from this event.
             return
         self._waiting_on = None
-        if event.ok or not event.triggered:
-            self._step(lambda: self.generator.send(event._value))
+        if not event._triggered or event._ok:
+            self._advance(False, event._value)
         else:
-            self._step(lambda: self.generator.throw(event._value))
+            self._advance(True, event._value)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _advance(self, throw: bool, payload: Any) -> None:
         # Mark this process as the one executing so anything it creates
         # (events, child processes, trace spans) can find its context.
         sim = self.sim
@@ -240,7 +337,10 @@ class Process(Event):
         sim.active_process = self
         try:
             try:
-                target = advance()
+                if throw:
+                    target = self.generator.throw(payload)
+                else:
+                    target = self.generator.send(payload)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -251,15 +351,14 @@ class Process(Event):
             except BaseException as exc:
                 self.fail(exc)
                 return
-            target = self._coerce(target)
+            if type(target) is not Timeout and not isinstance(target, Event):
+                target = self._coerce(target)
         finally:
             sim.active_process = previous
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
     def _coerce(self, target: Any) -> Event:
-        if isinstance(target, Event):
-            return target
         if isinstance(target, (int, float)):
             return Timeout(self.sim, float(target))
         if hasattr(target, "send"):
@@ -274,7 +373,9 @@ class AllOf(Event):
     """Triggers when all child events have triggered successfully.
 
     The value is the list of child values, in the order given.  Fails
-    with the first child failure.
+    with the first child failure; a *later* child failure arriving after
+    this event already triggered is defused (counted in
+    ``sim.swallowed_failures``) instead of vanishing silently.
     """
 
     __slots__ = ("_pending", "_results")
@@ -285,7 +386,8 @@ class AllOf(Event):
         self._results: list[Any] = [None] * len(children)
         self._pending = len(children)
         if not children:
-            sim._schedule_trigger(0.0, self, True, [])
+            self._value = []  # staged for _fire_event
+            sim._push_call(0.0, _fire_event, self)
             return
         for index, child in enumerate(children):
             child.add_callback(self._make_collector(index))
@@ -293,8 +395,10 @@ class AllOf(Event):
     def _make_collector(self, index: int) -> Callable[[Event], None]:
         def collect(event: Event) -> None:
             if self._triggered:
+                if not event._ok:
+                    self.sim._defuse(event)
                 return
-            if not event.ok:
+            if not event._ok:
                 self.fail(event._value)
                 return
             self._results[index] = event._value
@@ -309,7 +413,11 @@ class AnyOf(Event):
     """Triggers when the first child event triggers (success or failure).
 
     The value is a ``(index, value)`` pair for the winning child; a child
-    failure fails this event with the child's exception.
+    failure fails this event with the child's exception.  A *losing*
+    child that fails after the winner already triggered is defused — its
+    exception is recorded in ``sim.swallowed_failures`` rather than
+    silently dropped (a quorum straggler raising after quorum success
+    must not crash the run, but must not vanish without trace either).
     """
 
     __slots__ = ()
@@ -325,8 +433,10 @@ class AnyOf(Event):
     def _make_collector(self, index: int) -> Callable[[Event], None]:
         def collect(event: Event) -> None:
             if self._triggered:
+                if not event._ok:
+                    self.sim._defuse(event)
                 return
-            if event.ok:
+            if event._ok:
                 self.succeed((index, event._value))
             else:
                 self.fail(event._value)
@@ -335,10 +445,11 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, action) entries.
+    """The event loop: a FIFO ready queue plus a priority heap.
 
-    ``seq`` breaks ties FIFO so same-time events run in schedule order,
-    which keeps runs deterministic.
+    Same-time continuations live in ``_ready`` (FIFO), future work in
+    ``_heap`` ordered by ``(time, seq)``; see the module docstring for
+    the determinism argument.
     """
 
     # Self-profiler slot (see repro.obs.prof.SimProfiler).  A class
@@ -346,8 +457,8 @@ class Simulator:
     # extra per-instance data and `sim.profiler is None` checks resolve
     # against the class.  SimProfiler.install() sets the instance
     # attribute and shadows `step` with a timing wrapper; run()/
-    # run_until_complete() call `self.step()`, so the wrapper sees every
-    # event without this class changing.
+    # run_until_complete() dispatch through `self.step()` whenever an
+    # instance override is present, so the wrapper sees every event.
     profiler: Optional[Any] = None
 
     def __init__(self) -> None:
@@ -355,10 +466,16 @@ class Simulator:
         # The process currently being stepped, if any (used to inherit
         # per-process context into spawned children).
         self.active_process: Optional[Process] = None
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
+        self._heap: list[_Entry] = []
+        self._ready: deque = deque()
+        # Heap pushes ever — doubles as the FIFO tie-break sequence for
+        # same-time heap entries and as the profiler's heap-push counter.
+        self._seq = 0
         self._running = False
         self._unhandled: list[Event] = []
+        # Child failures that lost an AllOf/AnyOf race after the
+        # combinator already triggered: defused, not silently dropped.
+        self.swallowed_failures = 0
 
     # -- construction helpers -------------------------------------------------
 
@@ -380,34 +497,87 @@ class Simulator:
     # -- scheduling ------------------------------------------------------------
 
     def _push(self, delay: float, action: Callable[[], None]) -> None:
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), action))
+        """Schedule a no-argument callable after ``delay`` ms.
+
+        Contract (shared with :meth:`call_at`): a non-positive delay is
+        clamped to "now" — the action joins the same-time FIFO queue.
+        Scheduling "in the past" therefore behaves identically whether
+        expressed as a negative delay or an absolute time before ``now``.
+        """
+        if delay <= 0.0:
+            self._ready.append((action, _NOARG))
+        else:
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._heap, _Entry(self.now + delay, seq, action, _NOARG))
+
+    def _push_call(self, delay: float, fn: Callable[[Any], None], arg: Any) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` ms (clamped like _push)."""
+        if delay <= 0.0:
+            self._ready.append((fn, arg))
+        else:
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._heap, _Entry(self.now + delay, seq, fn, arg))
 
     def _schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
-        self._push(0.0, lambda: callback(event))
+        self._ready.append((callback, event))
 
     def _schedule_trigger(self, delay: float, event: Event, ok: bool, value: Any) -> None:
-        def fire() -> None:
-            if not event._triggered:
-                event._trigger(ok, value)
+        if ok:
+            event._value = value  # staged; unread while the event is pending
+            self._push_call(delay, _fire_event, event)
+        else:
+            def fire() -> None:
+                if not event._triggered:
+                    event._trigger(False, value)
 
-        self._push(delay, fire)
+            self._push(delay, fire)
 
     def call_at(self, when: float, action: Callable[[], None]) -> None:
-        """Run a plain callable at absolute simulated time ``when``."""
-        self._push(max(0.0, when - self.now), action)
+        """Run a plain callable at absolute simulated time ``when``.
+
+        Times at or before ``now`` are clamped to "now" (the action runs
+        on the current instant's FIFO queue) — the same clamping
+        :meth:`_push` applies to non-positive delays.
+        """
+        self._push(when - self.now, action)
+
+    def _defuse(self, event: Event) -> None:
+        """Account a child failure that lost an AllOf/AnyOf race."""
+        self.swallowed_failures += 1
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> None:
-        """Execute the single next scheduled action."""
-        when, _seq, action = heapq.heappop(self._heap)
-        self.now = when
-        action()
+        """Execute the single next scheduled action.
+
+        Dispatch order: same-time heap entries (scheduled at an earlier
+        instant, landing now) run before the ready queue; the ready
+        queue runs before any future-time heap entry.  This reproduces
+        global ``(time, seq)`` order exactly.
+        """
+        ready = self._ready
+        if ready:
+            heap = self._heap
+            if heap and heap[0].time <= self.now:
+                entry = heapq.heappop(heap)
+                fn = entry.fn
+                arg = entry.arg
+            else:
+                fn, arg = ready.popleft()
+        else:
+            entry = heapq.heappop(self._heap)
+            self.now = entry.time
+            fn = entry.fn
+            arg = entry.arg
+        if arg is _NOARG:
+            fn()
+        else:
+            fn(arg)
 
     def run(self, until: Optional[float] = None, strict: bool = True) -> None:
-        """Run until the heap drains or simulated time passes ``until``.
+        """Run until the queues drain or simulated time passes ``until``.
 
         When stopped by ``until``, ``now`` is set to ``until`` exactly so
         measurement windows have precise lengths.  With ``strict`` (the
@@ -417,14 +587,35 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        ready = self._ready
+        heap = self._heap
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            if until is None and "step" not in self.__dict__:
+                # Hot loop: inline dispatch (no per-event method call).
+                heappop = heapq.heappop
+                pop_ready = ready.popleft
+                while ready or heap:
+                    if ready and not (heap and heap[0].time <= self.now):
+                        fn, arg = pop_ready()
+                    else:
+                        entry = heappop(heap)
+                        self.now = entry.time
+                        fn = entry.fn
+                        arg = entry.arg
+                    if arg is _NOARG:
+                        fn()
+                    else:
+                        fn(arg)
+            else:
+                step = self.step
+                while ready or heap:
+                    if until is not None:
+                        at = self.now if ready else heap[0].time
+                        if at > until:
+                            break
+                    step()
+                if until is not None and self.now < until:
                     self.now = until
-                    break
-                self.step()
-            if until is not None and self.now < until:
-                self.now = until
         finally:
             self._running = False
         if strict and self._unhandled:
@@ -436,16 +627,44 @@ class Simulator:
 
         ``limit`` bounds simulated time as a hang safeguard.
         """
-        while not process.triggered:
-            if not self._heap:
-                raise SimulationError(
-                    f"deadlock: no scheduled events but {process.name!r} is not done"
-                )
-            if self._heap[0][0] > limit:
-                raise SimulationError(f"simulated time limit {limit} exceeded")
-            self.step()
-        if process.ok:
-            return process.value
+        ready = self._ready
+        heap = self._heap
+        if "step" not in self.__dict__:
+            heappop = heapq.heappop
+            pop_ready = ready.popleft
+            while not process._triggered:
+                if ready and not (heap and heap[0].time <= self.now):
+                    fn, arg = pop_ready()
+                elif heap:
+                    entry = heappop(heap)
+                    when = entry.time
+                    if when > limit:
+                        heapq.heappush(heap, entry)
+                        raise SimulationError(f"simulated time limit {limit} exceeded")
+                    self.now = when
+                    fn = entry.fn
+                    arg = entry.arg
+                else:
+                    raise SimulationError(
+                        f"deadlock: no scheduled events but {process.name!r} is not done"
+                    )
+                if arg is _NOARG:
+                    fn()
+                else:
+                    fn(arg)
+        else:
+            step = self.step
+            while not process._triggered:
+                if not ready:
+                    if not heap:
+                        raise SimulationError(
+                            f"deadlock: no scheduled events but {process.name!r} is not done"
+                        )
+                    if heap[0].time > limit:
+                        raise SimulationError(f"simulated time limit {limit} exceeded")
+                step()
+        if process._ok:
+            return process._value
         if process in self._unhandled:
             self._unhandled.remove(process)
         raise process._value

@@ -3,6 +3,14 @@
 These mirror the small set of concurrency tools the protocol code needs:
 FIFO mailboxes for message delivery, counted resources for CPU cores and
 NIC serialization, and condition variables for state-change waits.
+
+All three primitives register an *abandon hook* (``Event._abandon``) on
+the events they hand to waiters: when a waiting process is interrupted
+away from the event, the kernel calls the hook so the primitive can
+cancel the queued waiter state.  Without this, an interrupted
+``Resource.acquire`` still received a grant later (permanently shrinking
+capacity), a ``Condition`` retained the dead waiter forever, and a
+``Mailbox`` could deliver an item into an event nobody would read.
 """
 
 from __future__ import annotations
@@ -39,12 +47,28 @@ class Mailbox:
             self._items.append(item)
 
     def get(self) -> Event:
-        event = self.sim.event(name=f"get:{self.name}")
+        # The event reuses the mailbox's own name: no per-get f-string,
+        # and the profiler's subsystem attribution sees e.g. "inbox:...".
+        event = Event(self.sim, name=self.name)
         if self._items:
             event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
+        event._abandon = self._abandon_get
         return event
+
+    def _abandon_get(self, event: Event) -> None:
+        # The waiting process was interrupted away from this get.
+        if event._triggered:
+            if event._ok:
+                # An item was already dequeued into the event; put it
+                # back at the head so delivery order is preserved.
+                self._items.appendleft(event._value)
+        else:
+            try:
+                self._getters.remove(event)
+            except ValueError:
+                pass
 
     def get_nowait(self) -> Any:
         if not self._items:
@@ -91,12 +115,28 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        event = self.sim.event(name=f"acquire:{self.name}")
+        event = Event(self.sim, name=self.name)
         if self._in_use < self.capacity:
             self._grant(event)
         else:
             self._waiters.append(event)
+        event._abandon = self._abandon_acquire
         return event
+
+    def _abandon_acquire(self, event: Event) -> None:
+        # The acquiring process was interrupted away from this grant.
+        if event._triggered:
+            # The grant already fired (capacity was charged) but the
+            # interrupted process will never run its release: give the
+            # slot back, waking the next waiter if any.
+            self.release(None)
+        else:
+            # Still queued: un-queue so a future release is not granted
+            # to a process that stopped waiting.
+            try:
+                self._waiters.remove(event)
+            except ValueError:
+                pass
 
     def release(self, _grant: Any = None) -> None:
         if self._in_use <= 0:
@@ -145,9 +185,19 @@ class Condition:
         self._waiters: list[Event] = []
 
     def wait(self) -> Event:
-        event = self.sim.event(name=f"wait:{self.name}")
+        event = Event(self.sim, name=self.name)
         self._waiters.append(event)
+        event._abandon = self._abandon_wait
         return event
+
+    def _abandon_wait(self, event: Event) -> None:
+        # An interrupted waiter will never consume its notification;
+        # drop it so the waiter list cannot grow without bound.
+        if not event._triggered:
+            try:
+                self._waiters.remove(event)
+            except ValueError:
+                pass
 
     def notify_all(self, value: Any = None) -> None:
         waiters, self._waiters = self._waiters, []

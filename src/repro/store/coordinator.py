@@ -165,8 +165,15 @@ class StoreCoordinator:
         merged: Dict[Any, Row] = {}
         for reply in replies:
             for clustering, row in reply["rows"].items():
-                existing = merged.setdefault(clustering, Row())
-                existing.merge_from(row)
+                existing = merged.get(clustering)
+                if existing is None:
+                    # Replica replies carry fresh row copies (see
+                    # StorageReplica.local_rows), so the first reply's
+                    # row can seed the merge directly instead of being
+                    # re-applied cell-by-cell onto an empty Row.
+                    merged[clustering] = row
+                else:
+                    existing.merge_from(row)
         return {c: r for c, r in merged.items() if r.live}
 
     def _issue_read_repair(

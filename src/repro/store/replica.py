@@ -125,17 +125,22 @@ class StorageReplica(Node):
     def local_rows(self, table: str, partition_key: str) -> Dict[Any, Row]:
         """Copies of the live rows of a partition (empty dict if none)."""
         view = self.engine.partition_view(table, partition_key)
-        return {
-            clustering: row.copy()
-            for clustering, row in view.items()
-            if row.live
-        }
+        out: Dict[Any, Row] = {}
+        for clustering, row in view.items():
+            if row.live:
+                # Prime the payload-size cache on the stored row so every
+                # copy handed to a read reply inherits it (the reply path
+                # sizes each row; sizing the copy would never hit).
+                row.payload_bytes()
+                out[clustering] = row.copy()
+        return out
 
     def local_row(self, table: str, partition_key: str, clustering: Any) -> Optional[Row]:
         view = self.engine.partition_view(table, partition_key)
         row = view.get(clustering)
         if row is None or not row.live:
             return None
+        row.payload_bytes()
         return row.copy()
 
     def _count(self, name: str) -> None:
@@ -159,7 +164,7 @@ class StorageReplica(Node):
                 row = self.local_row(body["table"], body["partition"], clustering)
                 rows = {clustering: row} if row is not None else {}
             reply = {"rows": rows}
-            size = sum(payload_size(row.visible_values()) for row in rows.values()) + 32
+            size = sum(row.payload_bytes() for row in rows.values()) + 32
             self.reply(msg, reply, size_bytes=size)
 
     def _handle_write(self, msg: Message) -> Generator[Any, Any, None]:
@@ -293,7 +298,7 @@ class StorageReplica(Node):
             if not batch:
                 continue
             size = sum(
-                payload_size(row.visible_values())
+                row.payload_bytes()
                 for _t, _p, rows in batch
                 for row in rows.values()
             )
@@ -352,7 +357,7 @@ class StorageReplica(Node):
             yield from self._merge_rows(table, partition_key, rows)
             reply_entries.append((table, partition_key, ours))
         size = sum(
-            payload_size(row.visible_values())
+            row.payload_bytes()
             for _t, _p, rows in reply_entries
             for row in rows.values()
         )

@@ -67,10 +67,16 @@ class HashRing:
         self._tokens: List[Tuple[int, str]] = []  # sorted (token, node_id)
         self._token_values: List[int] = []
         self._transition: Optional[RingTransition] = None
+        # (partition_key, factor) -> placement, valid while the token
+        # table is stable and no transition is open.  Placement is on
+        # every read/write path, and the md5 + ring walk dominates it;
+        # membership changes are rare, so lookups amortise to a dict hit.
+        self._placement_cache: Dict[Tuple[str, int], List[str]] = {}
 
     def add_node(self, node_id: str, site: str) -> None:
         if node_id in self._sites:
             raise ValueError(f"node {node_id!r} already on the ring")
+        self._placement_cache.clear()
         self._sites[node_id] = site
         for vnode in range(self.vnodes):
             entry = (_hash64(f"{node_id}#{vnode}"), node_id)
@@ -84,6 +90,7 @@ class HashRing:
     def remove_node(self, node_id: str) -> None:
         if node_id not in self._sites:
             raise KeyError(node_id)
+        self._placement_cache.clear()
         del self._sites[node_id]
         self._tokens = [(token, owner) for token, owner in self._tokens if owner != node_id]
         self._token_values = [token for token, _ in self._tokens]
@@ -186,15 +193,26 @@ class HashRing:
         resolve on the pre-change snapshot.
         """
         transition = self._transition
-        if transition is not None and partition_key not in transition.moved:
+        if transition is not None:
+            if partition_key not in transition.moved:
+                return self._walk(
+                    transition.tokens, transition.token_values, transition.sites,
+                    partition_key, replication_factor,
+                )
             return self._walk(
-                transition.tokens, transition.token_values, transition.sites,
+                self._tokens, self._token_values, self._sites,
                 partition_key, replication_factor,
             )
-        return self._walk(
-            self._tokens, self._token_values, self._sites,
-            partition_key, replication_factor,
-        )
+        cache_key = (partition_key, replication_factor)
+        cached = self._placement_cache.get(cache_key)
+        if cached is None:
+            cached = self._placement_cache[cache_key] = self._walk(
+                self._tokens, self._token_values, self._sites,
+                partition_key, replication_factor,
+            )
+        # Copy: callers may reorder (e.g. proximity sorts) without
+        # corrupting the cached placement.
+        return list(cached)
 
     @staticmethod
     def _walk(

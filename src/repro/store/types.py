@@ -39,7 +39,7 @@ __all__ = [
 Stamp = Tuple[float, str]
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
     """One column value with its write stamp.
 
@@ -47,6 +47,10 @@ class Cell:
     by the LWT coordinator); it lets a coordinator recognise that its
     own partially-accepted proposal was completed by someone else even
     after retries re-stamped the mutation.
+
+    Cells are treated as immutable: a newer write *replaces* the Cell
+    object in the row dict (see :meth:`Row.apply_cell`), which is what
+    lets :meth:`Row.copy` share Cell objects between snapshots.
     """
 
     value: Any
@@ -54,7 +58,7 @@ class Cell:
     op_id: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Row:
     """A row: cells by column name, plus a tombstone stamp if deleted.
 
@@ -65,6 +69,10 @@ class Row:
 
     cells: Dict[str, Cell] = field(default_factory=dict)
     tombstone: Optional[Stamp] = None
+    # Cached payload_bytes() result; -1 = dirty.  Rows are sized on every
+    # read reply and streaming batch, but mutated only through apply_cell
+    # and delete, which invalidate the cache.
+    _pb: int = field(default=-1, init=False, repr=False, compare=False)
 
     def apply_cell(self, column: str, value: Any, stamp: Stamp, op_id: str = "") -> bool:
         """Last-write-wins merge of one cell; True if the write took effect.
@@ -80,31 +88,75 @@ class Row:
             if existing.stamp == stamp and repr(existing.value) >= repr(value):
                 return False
         self.cells[column] = Cell(value, stamp, op_id)
+        self._pb = -1
         return True
 
     def delete(self, stamp: Stamp) -> None:
         if self.tombstone is None or stamp > self.tombstone:
             self.tombstone = stamp
+            self._pb = -1
 
     def visible_cells(self) -> Dict[str, Cell]:
-        if self.tombstone is None:
-            return dict(self.cells)
+        """Cells newer than the tombstone.  With no tombstone this is
+        the row's own cell dict (callers must treat it as read-only)."""
+        tombstone = self.tombstone
+        if tombstone is None:
+            return self.cells
         return {
-            name: cell for name, cell in self.cells.items() if cell.stamp > self.tombstone
+            name: cell for name, cell in self.cells.items() if cell.stamp > tombstone
         }
 
     def visible_values(self) -> Dict[str, Any]:
-        return {name: cell.value for name, cell in self.visible_cells().items()}
+        tombstone = self.tombstone
+        if tombstone is None:
+            return {name: cell.value for name, cell in self.cells.items()}
+        return {
+            name: cell.value
+            for name, cell in self.cells.items()
+            if cell.stamp > tombstone
+        }
+
+    def visible_cell(self, column: str) -> Optional[Cell]:
+        """The visible cell of one column, without building a dict."""
+        cell = self.cells.get(column)
+        if cell is None:
+            return None
+        tombstone = self.tombstone
+        if tombstone is not None and not cell.stamp > tombstone:
+            return None
+        return cell
 
     def cell_stamp(self, column: str) -> Optional[Stamp]:
         """The visible stamp of one column (None if absent/deleted) —
         the v2s staleness evidence the read-lease layer keys on."""
-        cell = self.visible_cells().get(column)
+        cell = self.visible_cell(column)
         return None if cell is None else cell.stamp
 
     @property
     def live(self) -> bool:
-        return bool(self.visible_cells())
+        tombstone = self.tombstone
+        if tombstone is None:
+            return bool(self.cells)
+        for cell in self.cells.values():
+            if cell.stamp > tombstone:
+                return True
+        return False
+
+    def payload_bytes(self) -> int:
+        """Wire size of the visible values, without building a dict.
+
+        Equivalent to ``payload_size(self.visible_values())``.
+        """
+        total = self._pb
+        if total >= 0:
+            return total
+        tombstone = self.tombstone
+        total = 8
+        for name, cell in self.cells.items():
+            if tombstone is None or cell.stamp > tombstone:
+                total += payload_size(name) + payload_size(cell.value)
+        self._pb = total
+        return total
 
     def merge_from(self, other: "Row") -> None:
         """Fold another replica's view of this row into ours (anti-entropy)."""
@@ -114,12 +166,11 @@ class Row:
             self.apply_cell(column, cell.value, cell.stamp, cell.op_id)
 
     def copy(self) -> "Row":
-        clone = Row(tombstone=self.tombstone)
-        clone.cells = {
-            name: Cell(cell.value, cell.stamp, cell.op_id)
-            for name, cell in self.cells.items()
-        }
-        return clone
+        # Shallow: Cell objects are replaced on write, never mutated in
+        # place, so snapshots can share them; only the dict is copied.
+        row = Row(cells=dict(self.cells), tombstone=self.tombstone)
+        row._pb = self._pb
+        return row
 
 
 # A partition: rows by clustering key.  Clustering keys must be mutually
@@ -127,7 +178,7 @@ class Row:
 Partition = Dict[Any, Row]
 
 
-@dataclass
+@dataclass(slots=True)
 class Update:
     """Upsert of some cells in one row."""
 
@@ -137,12 +188,21 @@ class Update:
     columns: Dict[str, Any]
     stamp: Stamp
     op_id: str = ""
+    # Wire size, computed once on first use (updates are sized several
+    # times along the write path: coordinator fan-out, WAL journal,
+    # memtable accounting).  Columns are not mutated after construction.
+    _size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def size_bytes(self) -> int:
-        return sum(payload_size(value) for value in self.columns.values()) + 32
+        size = self._size
+        if size < 0:
+            size = self._size = (
+                sum(payload_size(value) for value in self.columns.values()) + 32
+            )
+        return size
 
 
-@dataclass
+@dataclass(slots=True)
 class DeleteRow:
     """Row-level delete (tombstone)."""
 
@@ -190,7 +250,7 @@ class Condition:
         if self.kind == "col_eq":
             current = None
             if live:
-                cell = row.visible_cells().get(self.column)
+                cell = row.visible_cell(self.column)
                 current = cell.value if cell is not None else None
             return current == self.expected
         raise ValueError(f"unknown condition kind {self.kind!r}")
@@ -213,12 +273,24 @@ def payload_size(value: Any) -> int:
     """Rough wire size of a value, for transmission/CPU cost modelling.
 
     Objects exposing a ``payload_size()`` method (e.g. the workload
-    generator's SizedValue) declare their own modelled size.
+    generator's SizedValue) declare their own modelled size.  Exact-type
+    dispatch first: the overwhelmingly common cases (str keys, numeric
+    values, small dicts) resolve without an attribute probe.
     """
-    if hasattr(value, "payload_size"):
-        return value.payload_size()
-    if value is None:
+    kind = type(value)
+    if kind is str or kind is bytes or kind is bytearray:
+        return len(value)
+    if kind is int or kind is float:
+        return 8
+    if value is None or kind is bool:
         return 1
+    if kind is dict:
+        return sum(payload_size(k) + payload_size(v) for k, v in value.items()) + 8
+    if kind is list or kind is tuple:
+        return sum(payload_size(item) for item in value) + 8
+    sized = getattr(value, "payload_size", None)
+    if sized is not None:
+        return sized()
     if isinstance(value, bool):
         return 1
     if isinstance(value, (bytes, bytearray, str)):

@@ -313,7 +313,7 @@ class TopologyManager:
                 paxos.pop(table, None)
         size = (
             sum(
-                payload_size(row.visible_values())
+                row.payload_bytes()
                 for rows in entries.values()
                 for row in rows.values()
             )
@@ -456,7 +456,7 @@ class TopologyManager:
                 paxos[table] = (state.promised, state.accepted, state.latest_commit)
         size = (
             sum(
-                payload_size(row.visible_values())
+                row.payload_bytes()
                 for rows in entries.values()
                 for row in rows.values()
             )
@@ -471,7 +471,7 @@ class TopologyManager:
         body = replica.payload(msg)
         key = body["partition"]
         size = sum(
-            payload_size(row.visible_values())
+            row.payload_bytes()
             for rows in body["entries"].values()
             for row in rows.values()
         )
@@ -550,7 +550,7 @@ class TopologyManager:
     def _batch_size(batch: List[Tuple[str, str, Dict[Any, Any]]]) -> int:
         return (
             sum(
-                payload_size(row.visible_values())
+                row.payload_bytes()
                 for _table, _key, rows in batch
                 for row in rows.values()
             )
